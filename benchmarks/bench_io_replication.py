@@ -1,0 +1,89 @@
+"""§3.2.1: library replication policy and I/O contention.
+
+Regenerates the engineering trade that led to 24 replicas x 4 jobs per
+copy of the *reduced* dataset: fewer replicas slow every search through
+disk contention; the full 2.1 TB dataset costs 5x the storage and copy
+time to replicate; and end-to-end feature-generation walltime is
+minimised (per byte of staged storage) near the paper's design point.
+"""
+
+import pytest
+
+from repro.cluster import feature_task_seconds
+from repro.constants import FULL_DATASET_BYTES, REDUCED_DATASET_BYTES
+from repro.iosim import ReplicationPlan, paper_plan
+from conftest import save_result
+
+N_SEQUENCES = 3205
+MEAN_LENGTH = 328
+
+
+def _campaign_hours(plan: ReplicationPlan, dataset_fraction: float) -> float:
+    """End-to-end feature campaign: staging + searching."""
+    contention = plan.contention()
+    per_task = feature_task_seconds(
+        MEAN_LENGTH, dataset_fraction=dataset_fraction, io_contention=contention
+    )
+    search = N_SEQUENCES * per_task / plan.n_concurrent_jobs
+    return (plan.replication_seconds() + search) / 3600.0
+
+
+def test_replication_sweep(benchmark):
+    def sweep():
+        rows = []
+        for n_replicas in (1, 4, 8, 16, 24, 48):
+            plan = ReplicationPlan(
+                dataset_bytes=REDUCED_DATASET_BYTES,
+                n_replicas=n_replicas,
+                jobs_per_replica=96 // n_replicas if n_replicas <= 24 else 2,
+            )
+            rows.append(
+                (
+                    n_replicas,
+                    plan.jobs_per_replica,
+                    plan.contention(),
+                    plan.storage_bytes / 1e12,
+                    _campaign_hours(plan, 0.2),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "S3.2.1 — replication sweep, 96 concurrent search jobs, reduced dataset",
+        f"{'replicas':>9} {'jobs/copy':>10} {'contention':>11} "
+        f"{'storage(TB)':>12} {'campaign(h)':>12}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r[0]:>9} {r[1]:>10} {r[2]:>11.2f} {r[3]:>12.1f} {r[4]:>12.1f}"
+        )
+    save_result("io_replication_sweep", "\n".join(lines))
+
+    by_replicas = {r[0]: r for r in rows}
+    # One shared copy is badly contended; the paper's 24 copies are not.
+    assert by_replicas[1][2] > 10.0
+    assert by_replicas[24][2] == pytest.approx(1.0)
+    # The campaign is fastest at/near the paper's design point.
+    assert by_replicas[24][4] == min(r[4] for r in rows)
+
+
+def test_full_dataset_impractical(benchmark):
+    benchmark.pedantic(
+        lambda: paper_plan(FULL_DATASET_BYTES).replication_seconds(),
+        rounds=1,
+        iterations=1,
+    )
+    reduced = paper_plan(REDUCED_DATASET_BYTES)
+    full = paper_plan(FULL_DATASET_BYTES)
+    lines = [
+        "S3.2.1 — full vs reduced dataset staging",
+        f"reduced: {reduced.storage_bytes / 1e12:.1f} TB staged, "
+        f"{reduced.replication_seconds() / 3600:.1f} h to copy",
+        f"full   : {full.storage_bytes / 1e12:.1f} TB staged, "
+        f"{full.replication_seconds() / 3600:.1f} h to copy",
+    ]
+    save_result("io_full_vs_reduced", "\n".join(lines))
+    assert full.storage_bytes == 5 * reduced.storage_bytes
+    # >100 TB of staged copies: the full dataset is impractical (§3.2.1).
+    assert full.storage_bytes > 50e12

@@ -1,0 +1,94 @@
+"""§4.3: dataflow scaling to 1000 Summit nodes / 6000 workers.
+
+The paper's largest Dask deployment used 1000 nodes.  Sweeps node
+counts over a proteome-scale inference task set and regenerates the
+scaling behaviour: near-linear walltime reduction while tasks remain
+plentiful, with efficiency decaying as the per-worker task count drops;
+plus the §4.2 observation that scheduler/startup overhead is a ~16%
+share of a super-preset run's walltime at 32 nodes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    DASK_TASK_OVERHEAD_SECONDS,
+    SCHEDULER_STARTUP_SECONDS,
+    inference_task_seconds,
+)
+from repro.dataflow import TaskSpec, make_workers, simulate_dataflow
+from repro.sequences import rng_for
+from conftest import save_result
+
+N_TARGETS = 25_134
+NODE_SWEEP = (32, 125, 250, 500, 1000)
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    rng = rng_for(0, "scaling-lengths")
+    lengths = np.clip(
+        np.round(rng.lognormal(5.72, 0.62, size=N_TARGETS)), 25, 2500
+    ).astype(int)
+    return [
+        TaskSpec(key=f"t{i}/m{m}", payload=int(L), size_hint=int(L))
+        for i, L in enumerate(lengths)
+        for m in range(5)
+    ]
+
+
+def _duration(task: TaskSpec) -> float:
+    return inference_task_seconds(int(task.payload), 4)
+
+
+def test_scaling_sweep(benchmark, tasks):
+    def sweep():
+        rows = []
+        for nodes in NODE_SWEEP:
+            workers = make_workers(nodes, 6)
+            result = simulate_dataflow(tasks, workers, _duration)
+            rows.append((nodes, result.walltime_seconds, result.utilization()))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base_nodes, base_wall, _ = rows[0]
+    lines = [
+        f"S4.3 — inference scaling, {len(tasks)} tasks (S. divinum-scale)",
+        f"{'nodes':>6} {'workers':>8} {'walltime(h)':>12} {'speedup':>8} "
+        f"{'efficiency':>10} {'util':>6}",
+    ]
+    for nodes, wall, util in rows:
+        speedup = base_wall / wall
+        eff = speedup / (nodes / base_nodes)
+        lines.append(
+            f"{nodes:>6} {nodes * 6:>8} {wall / 3600:>12.2f} "
+            f"{speedup:>7.1f}x {eff:>9.0%} {util:>6.0%}"
+        )
+    save_result("scaling_sweep", "\n".join(lines))
+
+    walls = [w for _, w, _ in rows]
+    assert all(b < a for a, b in zip(walls, walls[1:]))  # monotone
+    # Near-linear to 1000 nodes: the paper deployed there productively.
+    speedup_1000 = walls[0] / walls[-1]
+    assert speedup_1000 > 0.7 * (1000 / 32)
+    # Utilization stays high even at 6000 workers with this task count.
+    assert rows[-1][2] > 0.8
+
+
+def test_overhead_share_at_32_nodes(benchmark, table1_runs):
+    """§4.2: overhead ~16% of the super-preset walltime at 32 nodes."""
+    run = benchmark.pedantic(
+        lambda: table1_runs["super"], rounds=1, iterations=1
+    )
+    n_tasks = len(run.simulation.records)
+    overhead = (
+        SCHEDULER_STARTUP_SECONDS
+        + n_tasks * DASK_TASK_OVERHEAD_SECONDS / len(run.simulation.workers)
+    )
+    share = overhead / run.simulation.walltime_seconds
+    save_result(
+        "overhead_share",
+        f"S4.2 — scheduler overhead share of super-preset walltime: "
+        f"{share:.1%} [paper: ~16%]",
+    )
+    assert 0.01 <= share <= 0.30

@@ -1,0 +1,98 @@
+"""Table 1: preset benchmark on the 559-sequence D. vulgaris set.
+
+Regenerates every column of the paper's Table 1 — mean pLDDT, mean
+pTMS, completed-target count and wall time per preset — and asserts the
+*shape* the paper reports:
+
+* quality ordering: reduced_db < genome < super on both metrics, with
+  casp14 ~ reduced_db despite ~8x compute;
+* walltime ordering: reduced_db < genome < super << casp14 (>150 min);
+* casp14 loses its ~8 longest sequences to OOM, the others lose none.
+"""
+
+import pytest
+
+from repro.core import get_preset
+from repro.core.stats import benchmark_row
+from conftest import save_result
+
+PAPER = {  # preset -> (plddt, ptms, count, walltime_min)
+    "reduced_db": (78.4, 0.631, 559, 44.0),
+    "genome": (79.5, 0.644, 559, 50.0),
+    "super": (80.7, 0.650, 559, 58.0),
+    "casp14": (78.6, 0.631, 551, 150.0),
+}
+
+
+@pytest.fixture(scope="module")
+def rows(table1_runs):
+    return {
+        name: benchmark_row(
+            name, run.top_models, run.simulation.walltime_minutes
+        )
+        for name, run in table1_runs.items()
+    }
+
+
+def test_table1(benchmark, rows, table1_runs):
+    rows = benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    lines = [
+        "Table 1 — preset benchmark on 559 sequences (paper values in [])",
+        f"{'preset':>11} {'pLDDT':>12} {'pTMS':>14} {'count':>12} {'wall(min)':>14}",
+    ]
+    for name, row in rows.items():
+        p = PAPER[name]
+        lines.append(
+            f"{name:>11} {row.mean_plddt:6.1f} [{p[0]:4.1f}] "
+            f"{row.mean_ptms:6.3f} [{p[1]:.3f}] {row.count:4d} [{p[2]:3d}] "
+            f"{row.walltime_minutes:6.1f} [{p[3]:5.1f}{'+' if name == 'casp14' else ''}]"
+        )
+    save_result("table1_presets", "\n".join(lines))
+
+    # Quality ordering.
+    assert rows["genome"].mean_plddt > rows["reduced_db"].mean_plddt
+    assert rows["super"].mean_plddt > rows["genome"].mean_plddt
+    assert rows["genome"].mean_ptms > rows["reduced_db"].mean_ptms
+    assert rows["super"].mean_ptms > rows["genome"].mean_ptms
+    # casp14 buys almost nothing over reduced_db.
+    assert abs(rows["casp14"].mean_plddt - rows["reduced_db"].mean_plddt) < 1.5
+    # Absolute levels in the paper's neighbourhood.
+    for name, row in rows.items():
+        assert abs(row.mean_plddt - PAPER[name][0]) < 5.0
+        assert abs(row.mean_ptms - PAPER[name][1]) < 0.08
+    # Wall time ordering, with casp14 >> the rest.
+    assert (
+        rows["reduced_db"].walltime_minutes
+        < rows["genome"].walltime_minutes
+        < rows["super"].walltime_minutes
+        < rows["casp14"].walltime_minutes
+    )
+    assert rows["casp14"].walltime_minutes > 120
+    # OOM census: only casp14 loses targets, and roughly eight of them.
+    for name in ("reduced_db", "genome", "super"):
+        assert rows[name].count == 559
+        assert not table1_runs[name].oom_failures
+    lost = 559 - rows["casp14"].count
+    assert 6 <= lost <= 10
+    # The lost targets are exactly the longest ones.
+    failed_ids = {rid for rid, _ in table1_runs["casp14"].oom_failures}
+    assert len(failed_ids) == lost
+
+
+def test_high_quality_fractions(rows):
+    # Paper: ~77-80% of targets above pLDDT 70; ~59-62% above pTMS 0.6.
+    for name in ("reduced_db", "genome", "super"):
+        assert 0.70 <= rows[name].frac_plddt_high <= 0.90
+        assert 0.52 <= rows[name].frac_ptms_high <= 0.75
+    assert rows["genome"].frac_plddt_high >= rows["reduced_db"].frac_plddt_high - 0.01
+
+
+def test_single_inference_task(benchmark, table1_workload, bench_factory):
+    """Microbenchmark: one genome-preset inference task (real surrogate)."""
+    _bench, _suite, features = table1_workload
+    from repro.fold import SurrogateFoldModel
+
+    bundle = next(iter(features.values()))
+    model = SurrogateFoldModel(bench_factory, 2)
+    config = get_preset("genome").config()
+    benchmark(lambda: model.predict(bundle, config))

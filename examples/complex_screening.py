@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Protein-complex screening (the AF2Complex direction, paper §5).
+
+The paper closes by pointing at AF2Complex — its optimizations feed a
+generalisation of AlphaFold that predicts protein-protein complexes,
+"especially relevant to HPC computing due to a quadratic (or higher)
+order dependence on the number of protein sequences."
+
+This example runs that screen in miniature: all pairs of a proteome
+sample are folded as candidate complexes, ranked by interface score,
+and compared against the hidden interactome.  It also prices the
+full-proteome screen in Summit node-hours to make the quadratic-cost
+point concrete.
+
+Run:  python examples/complex_screening.py
+"""
+
+import numpy as np
+
+from repro.cluster import inference_task_seconds
+from repro.fold import ComplexPredictor, NativeFactory
+from repro.msa import build_suite, generate_features
+from repro.sequences import SequenceUniverse, synthetic_proteome
+
+N_CHAINS = 12
+
+
+def main() -> None:
+    universe = SequenceUniverse(seed=41)
+    proteome = synthetic_proteome("R_rubrum", universe=universe, seed=41, scale=0.01)
+    suite = build_suite(universe, ["R_rubrum"], seed=41, scale=0.01)
+    factory = NativeFactory(universe)
+    predictor = ComplexPredictor(factory)
+
+    chains = [
+        r for r in proteome if r.family_id is not None and r.length < 400
+    ][:N_CHAINS]
+    features = {r.record_id: generate_features(r, suite) for r in chains}
+    print(f"screening {len(chains)} chains -> "
+          f"{len(chains) * (len(chains) - 1) // 2} candidate pairs\n")
+
+    results = []
+    for i in range(len(chains)):
+        for j in range(i + 1, len(chains)):
+            a, b = chains[i], chains[j]
+            cp = predictor.predict(features[a.record_id], features[b.record_id])
+            results.append(cp)
+    results.sort(key=lambda c: c.interface_score, reverse=True)
+
+    print(f"{'pair':>42} {'iScore':>7} {'contacts':>9} {'truth':>6}")
+    for cp in results[:8]:
+        print(
+            f"{cp.structure.record_id:>42} {cp.interface_score:7.3f} "
+            f"{cp.n_interface_contacts:9d} "
+            f"{'YES' if cp.truly_interacting else 'no':>6}"
+        )
+
+    scores_true = [c.interface_score for c in results if c.truly_interacting]
+    scores_false = [c.interface_score for c in results if not c.truly_interacting]
+    if scores_true:
+        print(
+            f"\nmean iScore: interacting {np.mean(scores_true):.3f} vs "
+            f"non-interacting {np.mean(scores_false):.3f}"
+        )
+    hits_in_top = sum(c.truly_interacting for c in results[: len(scores_true)])
+    if scores_true:
+        print(
+            f"top-{len(scores_true)} precision: "
+            f"{hits_in_top}/{len(scores_true)}"
+        )
+
+    # The quadratic-cost argument, priced with the calibrated model.
+    n = 3205  # D. vulgaris proteome
+    mean_task = inference_task_seconds(2 * 328, 6)
+    node_hours = (n * (n - 1) / 2) * mean_task / 6 / 3600
+    print(
+        f"\nfull all-vs-all screen of one bacterial proteome "
+        f"({n * (n - 1) // 2:,} pairs): ~{node_hours:,.0f} Summit node-hours"
+        f"\n(vs ~400 for the monomer campaign — the quadratic wall the"
+        f"\npaper says makes complex prediction an HPC problem)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Structure-based annotation of hypothetical proteins (paper §4.6).
+
+Takes the unannotated ("hypothetical") subset of a synthetic proteome,
+predicts their structures, aligns each prediction against the synthetic
+pdb70-like fold library with the TM-score structural aligner, and
+reports:
+
+* how many acquire a trusted structural match (TM >= 0.6) — and of
+  those, how many sit below 20% / 10% sequence identity, where
+  sequence-based annotation has long failed (paper: 239/559, 215, 112);
+* novel-fold candidates: ultra-confident predictions (pLDDT > 90 over
+  >98% of residues) with no structural match (top TM < 0.4) — the
+  signature that led the paper to a novel homocysteine-synthesis enzyme.
+
+Run:  python examples/hypothetical_annotation.py
+"""
+
+from repro.analysis import annotate_structures, find_novel_candidates
+from repro.core import get_preset
+from repro.fold import NativeFactory, default_model_bank
+from repro.msa import build_suite, generate_features
+from repro.sequences import SequenceUniverse, synthetic_proteome
+from repro.sequences.proteome import species_family_base
+from repro.structure import build_fold_library
+
+SCALE = 0.008
+MAX_QUERIES = 20
+
+
+def main() -> None:
+    universe = SequenceUniverse(seed=19)
+    proteome = synthetic_proteome(
+        "D_vulgaris", universe=universe, seed=19, scale=SCALE
+    )
+    suite = build_suite(universe, ["D_vulgaris"], seed=19, scale=SCALE)
+    hypothetical = proteome.hypothetical()[:MAX_QUERIES]
+    print(
+        f"proteome sample: {len(proteome)} proteins, "
+        f"{len(hypothetical)} hypothetical queries used"
+    )
+
+    base = species_family_base("D_vulgaris")
+    pool = max(1, int(round(3205 * SCALE) * 0.6))
+    library = build_fold_library(universe, list(range(base, base + pool)), seed=19)
+    print(f"fold library (pdb70 stand-in): {len(library)} structures")
+
+    factory = NativeFactory(universe)
+    bank = default_model_bank(factory)
+    config = get_preset("genome").config()
+    structures = {}
+    for record in hypothetical:
+        features = generate_features(record, suite)
+        predictions = [m.predict(features, config) for m in bank]
+        top = max(predictions, key=lambda p: p.ptms)
+        structures[record.record_id] = top.structure
+
+    print("\n== Structural annotation census ==")
+    census = annotate_structures(structures, library, max_candidates=30)
+    s = census.summary()
+    print(f"queries                        : {s['n_queries']}")
+    print(f"trusted matches (TM >= 0.6)    : {s['n_annotated']}")
+    print(f"  of which seq identity < 20%  : {s['n_below_20pct_identity']}")
+    print(f"  of which seq identity < 10%  : {s['n_below_10pct_identity']}")
+    print("(paper, 559 queries: 239 matched, 215 below 20%, 112 below 10%)")
+
+    for hit in census.hits[:5]:
+        print(
+            f"  {hit.record_id}: TM {hit.tm_score:.2f}, "
+            f"identity {hit.sequence_identity:.0%} -> {hit.annotation}"
+        )
+
+    print("\n== Novel-fold candidates ==")
+    candidates = find_novel_candidates(structures, census.best_tm_per_query)
+    if not candidates:
+        print("none in this sample (the signature is rare by design)")
+    for c in candidates:
+        print(
+            f"  {c.record_id}: {c.frac_residues_ultra_confident:.0%} of "
+            f"residues ultra-confident, best library TM only "
+            f"{c.best_library_tm:.3f} -> potential new fold/pathway lead"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Relaxation protocol comparison (paper §4.4-4.5, Figs. 3 and 4).
+
+Builds a CASP14-like evaluation set (targets with known "crystal"
+natives), relaxes each unrelaxed model with the three methods —
+original AlphaFold loop (CPU), optimized single pass on CPU, optimized
+single pass on GPU — and reports:
+
+* TM-score / SPECS-score of relaxed vs unrelaxed models (Fig. 3):
+  tight correlation, no decreases;
+* violation reduction (clashes removed completely, bumps reduced);
+* modelled time-to-solution vs heavy-atom count with GPU speedups
+  (Fig. 4), including the T1080-like outlier.
+
+Run:  python examples/relaxation_protocols.py
+"""
+
+import numpy as np
+
+from repro.cluster import relax_task_seconds
+from repro.core import casp_targets
+from repro.relax import AlphaFoldRelaxProtocol, SinglePassRelaxProtocol
+from repro.structure import specs_score, tm_score
+
+
+def main(n_targets: int = 10) -> None:
+    print(f"== Building {n_targets} CASP14-like targets ==")
+    targets = casp_targets(n_targets=n_targets, models_per_target=1, seed=11)
+    protocols = {
+        "af2_loop": AlphaFoldRelaxProtocol(),
+        "ours_cpu": SinglePassRelaxProtocol(device="cpu"),
+        "ours_gpu": SinglePassRelaxProtocol(device="gpu"),
+    }
+
+    header = (
+        f"{'target':>7} {'len':>5} {'atoms':>6} | {'TM pre':>7} "
+        + " ".join(f"{name:>9}" for name in protocols)
+        + f" | {'t_af2':>7} {'t_cpu':>7} {'t_gpu':>7} {'speedup':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    deltas = {name: [] for name in protocols}
+    for target in targets:
+        model = target.models[0].structure
+        native = target.native
+        tm_pre = tm_score(model.ca, native.ca)
+        sp_pre = specs_score(model.ca, native.ca)
+        row = f"{target.record.record_id:>7} {len(model):>5} {model.n_heavy_atoms:>6} | {tm_pre:7.3f} "
+        times = {}
+        for name, protocol in protocols.items():
+            outcome = protocol.run(model)
+            tm_post = tm_score(outcome.structure.ca, native.ca)
+            sp_post = specs_score(outcome.structure.ca, native.ca)
+            deltas[name].append((tm_post - tm_pre, sp_post - sp_pre))
+            times[name] = relax_task_seconds(
+                outcome.n_heavy_atoms, outcome.n_minimizations, outcome.device
+            )
+            row += f" {tm_post:9.3f}"
+        speedup = times["af2_loop"] / times["ours_gpu"]
+        row += (
+            f" | {times['af2_loop']:7.0f} {times['ours_cpu']:7.0f} "
+            f"{times['ours_gpu']:7.0f} {speedup:6.1f}x"
+        )
+        print(row)
+
+    print("\n== Fig. 3 shape check: score changes after relaxation ==")
+    for name, pairs in deltas.items():
+        arr = np.array(pairs)
+        print(
+            f"{name:>9}: dTM mean {arr[:, 0].mean():+.4f} "
+            f"(min {arr[:, 0].min():+.4f}), "
+            f"dSPECS mean {arr[:, 1].mean():+.4f}"
+        )
+    print("\nExpected: no material decreases in either metric; all three")
+    print("methods equivalent in quality; GPU up to ~14x faster, growing")
+    print("with system size (the largest target is the T1080-like outlier).")
+
+
+if __name__ == "__main__":
+    main()

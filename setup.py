@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 660 editable installs (which build a wheel) are unavailable; this
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``develop`` path.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

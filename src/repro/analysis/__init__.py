@@ -1,0 +1,12 @@
+"""Proteome-scale analyses: structural annotation and novelty detection."""
+
+from .annotation import AnnotationCensus, AnnotationHit, annotate_structures
+from .novelty import NoveltyCandidate, find_novel_candidates
+
+__all__ = [
+    "AnnotationCensus",
+    "AnnotationHit",
+    "annotate_structures",
+    "NoveltyCandidate",
+    "find_novel_candidates",
+]

@@ -1,0 +1,101 @@
+"""Structure-based functional annotation of hypothetical proteins (§4.6).
+
+The paper aligns predicted structures of the 559 *D. vulgaris* proteins
+annotated as "hypothetical" against the pdb70 library (APoc global
+TM-score alignment) and finds that 239 have a structural match with
+TM >= 0.6 — 215 of them at < 20% sequence identity and 112 at < 10%,
+i.e. far below where sequence methods work.  Structure outlives
+sequence, so predicted structures can transfer annotations that HMMs
+cannot.
+
+This module runs the same census against the synthetic fold library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..structure.library import FoldHit, FoldLibrary
+from ..structure.protein import Structure
+
+__all__ = ["AnnotationHit", "AnnotationCensus", "annotate_structures"]
+
+#: Alignment TM-score above which annotation transfer is trusted.
+ANNOTATION_TM_THRESHOLD: float = 0.60
+
+
+@dataclass(frozen=True)
+class AnnotationHit:
+    """One hypothetical protein with its best structural match."""
+
+    record_id: str
+    tm_score: float
+    sequence_identity: float
+    annotation: str
+    matched_entry_id: str
+
+
+@dataclass
+class AnnotationCensus:
+    """The §4.6 headline numbers."""
+
+    n_queries: int
+    hits: list[AnnotationHit]
+    best_tm_per_query: dict[str, float]
+
+    @property
+    def n_annotated(self) -> int:
+        """Queries with a trusted structural match (paper: 239/559)."""
+        return len(self.hits)
+
+    def n_below_identity(self, threshold: float) -> int:
+        """Annotated queries whose match is below a sequence identity
+        threshold (paper: 215 below 20%, 112 below 10%)."""
+        return sum(1 for h in self.hits if h.sequence_identity < threshold)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "n_queries": self.n_queries,
+            "n_annotated": self.n_annotated,
+            "n_below_20pct_identity": self.n_below_identity(0.20),
+            "n_below_10pct_identity": self.n_below_identity(0.10),
+        }
+
+
+def annotate_structures(
+    structures: dict[str, Structure],
+    library: FoldLibrary,
+    tm_threshold: float = ANNOTATION_TM_THRESHOLD,
+    max_candidates: int | None = 40,
+) -> AnnotationCensus:
+    """Search every query structure against the fold library.
+
+    Returns the census of trusted matches; queries whose best TM-score
+    falls below ``tm_threshold`` stay unannotated (and are candidates
+    for the novelty analysis).
+    """
+    hits: list[AnnotationHit] = []
+    best_tm: dict[str, float] = {}
+    for record_id, structure in structures.items():
+        found: FoldHit | None = library.best_hit(
+            structure, max_candidates=max_candidates
+        )
+        if found is None:
+            best_tm[record_id] = 0.0
+            continue
+        best_tm[record_id] = found.tm_score
+        if found.tm_score >= tm_threshold:
+            hits.append(
+                AnnotationHit(
+                    record_id=record_id,
+                    tm_score=found.tm_score,
+                    sequence_identity=found.sequence_identity,
+                    annotation=found.entry.annotation,
+                    matched_entry_id=found.entry.entry_id,
+                )
+            )
+    return AnnotationCensus(
+        n_queries=len(structures), hits=hits, best_tm_per_query=best_tm
+    )

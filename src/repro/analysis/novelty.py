@@ -1,0 +1,67 @@
+"""Novel-fold / novel-assembly candidate detection (§4.6).
+
+The paper's most intriguing find: predicted structures with *very high*
+model confidence (over 98% of residues above pLDDT 90) but *very poor*
+structural matches to everything experimental (top TM-score 0.358) —
+high-confidence structures nobody has seen, i.e. leads for new folds,
+quaternary arrangements and enzymatic pathways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..structure.protein import Structure
+
+__all__ = ["NoveltyCandidate", "find_novel_candidates"]
+
+#: Residue-level confidence bar (paper: pLDDT > 90 for > 98% of residues).
+NOVELTY_PLDDT_CUTOFF: float = 90.0
+NOVELTY_RESIDUE_FRACTION: float = 0.98
+
+#: Structural-match bar: no library hit at or above this TM-score.
+NOVELTY_TM_CUTOFF: float = 0.40
+
+
+@dataclass(frozen=True)
+class NoveltyCandidate:
+    """A high-confidence structure with no experimental analogue."""
+
+    record_id: str
+    frac_residues_ultra_confident: float
+    best_library_tm: float
+
+
+def find_novel_candidates(
+    structures: dict[str, Structure],
+    best_tm_per_query: dict[str, float],
+    plddt_cutoff: float = NOVELTY_PLDDT_CUTOFF,
+    residue_fraction: float = NOVELTY_RESIDUE_FRACTION,
+    tm_cutoff: float = NOVELTY_TM_CUTOFF,
+) -> list[NoveltyCandidate]:
+    """Filter for the confident-but-unmatched signature.
+
+    ``best_tm_per_query`` is the per-query best library TM-score from
+    :func:`repro.analysis.annotation.annotate_structures`.
+    """
+    out: list[NoveltyCandidate] = []
+    for record_id, structure in structures.items():
+        if structure.plddt is None:
+            continue
+        frac = float((np.asarray(structure.plddt) > plddt_cutoff).mean())
+        if frac < residue_fraction:
+            continue
+        tm = best_tm_per_query.get(record_id, 0.0)
+        if tm >= tm_cutoff:
+            continue
+        out.append(
+            NoveltyCandidate(
+                record_id=record_id,
+                frac_residues_ultra_confident=frac,
+                best_library_tm=tm,
+            )
+        )
+    out.sort(key=lambda c: c.best_library_tm)
+    return out

@@ -1,0 +1,236 @@
+"""Command-line interface.
+
+Four subcommands mirror how the paper's pipeline was actually driven:
+
+* ``repro predict``   — features + inference + relaxation for a proteome
+  sample; writes relaxed PDBs and a per-target CSV.
+* ``repro campaign``  — the full three-stage simulated deployment with
+  node-hour accounting and the proteome confidence summary.
+* ``repro relax``     — relax an existing (CA-trace) PDB file.
+* ``repro table1``    — a scaled-down regeneration of Table 1.
+
+All commands are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+from . import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Proteome-scale structure prediction workflows "
+        "(reproduction of Gao et al., IPDPS Workshops 2022)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("predict", help="predict + relax a proteome sample")
+    p.add_argument("--species", default="D_vulgaris",
+                   choices=["P_mercurii", "R_rubrum", "D_vulgaris", "S_divinum"])
+    p.add_argument("--scale", type=float, default=0.003,
+                   help="fraction of the proteome to generate")
+    p.add_argument("--preset", default="genome",
+                   choices=["reduced_db", "casp14", "genome", "super"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-targets", type=int, default=None)
+    p.add_argument("--out", type=Path, default=Path("repro_output"))
+
+    c = sub.add_parser("campaign", help="simulate the full 3-stage deployment")
+    c.add_argument("--species", default="D_vulgaris",
+                   choices=["P_mercurii", "R_rubrum", "D_vulgaris", "S_divinum"])
+    c.add_argument("--scale", type=float, default=0.004)
+    c.add_argument("--preset", default="genome")
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--feature-nodes", type=int, default=24)
+    c.add_argument("--inference-nodes", type=int, default=16)
+    c.add_argument("--relax-nodes", type=int, default=4)
+
+    r = sub.add_parser("relax", help="relax a CA-trace PDB file")
+    r.add_argument("pdb", type=Path)
+    r.add_argument("--method", default="gpu", choices=["gpu", "cpu", "af2"])
+    r.add_argument("--out", type=Path, default=None)
+
+    t = sub.add_parser("table1", help="regenerate Table 1 at reduced size")
+    t.add_argument("--n", type=int, default=80, help="benchmark set size")
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--presets", nargs="+",
+                   default=["reduced_db", "genome", "super", "casp14"])
+    return parser
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from .core import get_preset
+    from .fold import NativeFactory, OutOfMemoryError, default_model_bank
+    from .msa import build_suite, generate_features
+    from .relax import relax_structure
+    from .sequences import SequenceUniverse, synthetic_proteome
+    from .structure import write_pdb
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    universe = SequenceUniverse(args.seed)
+    proteome = synthetic_proteome(
+        args.species, universe=universe, seed=args.seed, scale=args.scale
+    )
+    suite = build_suite(
+        universe, [args.species], seed=args.seed, scale=args.scale
+    ).reduced()
+    factory = NativeFactory(universe)
+    bank = default_model_bank(factory)
+    config = get_preset(args.preset).config()
+    targets = list(proteome)
+    if args.max_targets is not None:
+        targets = targets[: args.max_targets]
+    rows = []
+    for record in targets:
+        features = generate_features(record, suite)
+        predictions = []
+        for model in bank:
+            try:
+                predictions.append(model.predict(features, config))
+            except OutOfMemoryError:
+                continue
+        if not predictions:
+            print(f"{record.record_id}: all models OOM", file=sys.stderr)
+            continue
+        top = max(predictions, key=lambda p: p.ptms)
+        outcome = relax_structure(top.structure, method="gpu")
+        pdb_path = args.out / f"{record.record_id}.pdb"
+        write_pdb(outcome.structure, pdb_path)
+        rows.append(
+            {
+                "record_id": record.record_id,
+                "length": record.length,
+                "msa_depth": features.msa_depth,
+                "model": top.model_name,
+                "recycles": top.n_recycles,
+                "plddt": f"{top.mean_plddt:.1f}",
+                "ptms": f"{top.ptms:.3f}",
+                "clashes_removed": outcome.violations_before.n_clashes,
+                "pdb": pdb_path.name,
+            }
+        )
+        print(
+            f"{record.record_id}  L={record.length:<5d} pLDDT="
+            f"{top.mean_plddt:5.1f} pTMS={top.ptms:.3f} -> {pdb_path.name}"
+        )
+    csv_path = args.out / "summary.csv"
+    with open(csv_path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0]) if rows else ["record_id"])
+        writer.writeheader()
+        writer.writerows(rows)
+    print(f"\n{len(rows)} structures -> {args.out}/ (summary: {csv_path})")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .core import ProteomePipeline, summarize_proteome
+    from .fold import NativeFactory
+    from .msa import build_suite
+    from .sequences import SequenceUniverse, synthetic_proteome
+
+    universe = SequenceUniverse(args.seed)
+    proteome = synthetic_proteome(
+        args.species, universe=universe, seed=args.seed, scale=args.scale
+    )
+    suite = build_suite(
+        universe, [args.species], seed=args.seed, scale=args.scale
+    ).reduced()
+    pipeline = ProteomePipeline(
+        preset_name=args.preset,
+        feature_nodes=args.feature_nodes,
+        inference_nodes=args.inference_nodes,
+        relax_nodes=args.relax_nodes,
+    )
+    result = pipeline.run(proteome, suite, NativeFactory(universe))
+    fs, inf, rx = result.feature_stage, result.inference_stage, result.relax_stage
+    print(f"{args.species}: {len(proteome)} targets, preset {args.preset}")
+    print(
+        f"features : {fs.simulation.walltime_minutes:8.1f} min on "
+        f"{fs.n_nodes:4d} Andes nodes  = {fs.node_hours:8.1f} node-h"
+    )
+    print(
+        f"inference: {inf.simulation.walltime_minutes:8.1f} min on "
+        f"{inf.n_nodes:4d} Summit nodes = {inf.node_hours:8.1f} node-h"
+    )
+    print(
+        f"relax    : {rx.simulation.walltime_minutes:8.1f} min on "
+        f"{rx.n_nodes:4d} Summit nodes = {rx.node_hours:8.1f} node-h"
+    )
+    summary = summarize_proteome(inf.top_models)
+    print(
+        f"quality  : {summary.frac_targets_plddt_high:.0%} targets pLDDT>70, "
+        f"{summary.frac_targets_ptms_high:.0%} pTMS>0.6, "
+        f"mean recycles {summary.mean_recycles:.1f}"
+    )
+    if inf.oom_failures:
+        print(f"failures : {len(inf.oom_failures)} OOM tasks")
+    return 0
+
+
+def _cmd_relax(args: argparse.Namespace) -> int:
+    from .relax import relax_structure
+    from .structure import read_pdb, write_pdb
+
+    structure = read_pdb(args.pdb)
+    outcome = relax_structure(structure, method=args.method)
+    out = args.out or args.pdb.with_name(args.pdb.stem + "_relaxed.pdb")
+    write_pdb(outcome.structure, out)
+    b, a = outcome.violations_before, outcome.violations_after
+    print(
+        f"{args.pdb.name}: clashes {b.n_clashes}->{a.n_clashes}, "
+        f"bumps {b.n_bumps}->{a.n_bumps}, "
+        f"{outcome.n_minimizations} minimisation(s) -> {out}"
+    )
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .core import benchmark_set, benchmark_suite
+    from .core.pipeline import ProteomePipeline
+    from .core.stats import benchmark_row
+    from .fold import NativeFactory
+    from .msa import generate_features
+    from .sequences import SequenceUniverse
+
+    universe = SequenceUniverse(args.seed)
+    bench = benchmark_set(universe, seed=args.seed, n_sequences=args.n)
+    suite = benchmark_suite(universe, seed=args.seed, n_sequences=args.n)
+    factory = NativeFactory(universe)
+    features = {r.record_id: generate_features(r, suite) for r in bench}
+    print(f"{'preset':>11} {'pLDDT':>7} {'pTMS':>7} {'count':>6} {'wall(min)':>10}")
+    for preset in args.presets:
+        nodes = 91 if preset == "casp14" else 32
+        pipeline = ProteomePipeline(
+            inference_nodes=nodes, use_highmem_routing=False
+        )
+        run = pipeline.run_inference_stage(features, factory, preset_name=preset)
+        row = benchmark_row(preset, run.top_models, run.simulation.walltime_minutes)
+        print(
+            f"{row.preset:>11} {row.mean_plddt:7.1f} {row.mean_ptms:7.3f} "
+            f"{row.count:6d} {row.walltime_minutes:10.1f}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "predict": _cmd_predict,
+        "campaign": _cmd_campaign,
+        "relax": _cmd_relax,
+        "table1": _cmd_table1,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""Cluster substrate: machines, batch scheduling, event clock, cost model."""
+
+from .costmodel import (
+    DASK_TASK_OVERHEAD_SECONDS,
+    SCHEDULER_STARTUP_SECONDS,
+    feature_task_seconds,
+    inference_recycle_seconds,
+    inference_task_seconds,
+    relax_pass_seconds,
+    relax_task_seconds,
+)
+from .lsf import BatchJob, BatchScheduler, JsrunStatement, ResourceSet, inference_job
+from .machine import ANDES, MACHINES, PHOENIX, SUMMIT, MachineSpec
+from .simclock import SimClock
+
+__all__ = [
+    "DASK_TASK_OVERHEAD_SECONDS",
+    "SCHEDULER_STARTUP_SECONDS",
+    "feature_task_seconds",
+    "inference_recycle_seconds",
+    "inference_task_seconds",
+    "relax_pass_seconds",
+    "relax_task_seconds",
+    "BatchJob",
+    "BatchScheduler",
+    "JsrunStatement",
+    "ResourceSet",
+    "inference_job",
+    "ANDES",
+    "MACHINES",
+    "PHOENIX",
+    "SUMMIT",
+    "MachineSpec",
+    "SimClock",
+]

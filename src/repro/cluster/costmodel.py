@@ -1,0 +1,159 @@
+"""Calibrated runtime cost models.
+
+Wall-clock numbers in the paper come from V100s, POWER9s and EPYCs we do
+not have; every benchmark therefore reports *modelled* runtimes from the
+analytic forms below, with coefficients calibrated once against the
+paper's quoted costs:
+
+* Table 1 — 559 sequences x 5 models on 192 workers: 44 min with the
+  reduced_dbs preset (3 recycles);
+* §4.1 — feature generation ~240 Andes node-hours for 3,205 sequences;
+* §4.5 — 3,205 relaxations in 22.89 min on 48 GPU workers;
+* Fig. 4 — up to ~14x GPU speedup over the original relaxation, with a
+  4.5-hour CPU outlier.
+
+The *shapes* (quadratic-in-length inference, superlinear-in-atoms CPU
+minimisation, sublinear GPU scaling) follow the underlying algorithms,
+so ratios and crossovers are meaningful even though absolute seconds
+are modelled.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "inference_recycle_seconds",
+    "inference_task_seconds",
+    "feature_task_seconds",
+    "relax_pass_seconds",
+    "relax_task_seconds",
+    "DASK_TASK_OVERHEAD_SECONDS",
+    "SCHEDULER_STARTUP_SECONDS",
+]
+
+#: Per-task dispatch overhead of the dataflow layer (the white dividing
+#: lines between blue blocks in Fig. 2): scheduler round-trip plus
+#: deserialising the target's pickled feature dictionary on the worker.
+DASK_TASK_OVERHEAD_SECONDS: float = 8.0
+
+#: One-time cost of standing up the scheduler + registering workers.
+SCHEDULER_STARTUP_SECONDS: float = 90.0
+
+# --- Inference (GPU) ---------------------------------------------------------
+
+#: Fixed per-task cost: model-weight load + JAX compilation for the
+#: target's shape bucket.  Substantial in practice, which is why the
+#: adaptive presets' extra recycles cost less than naive scaling.
+_INFER_SETUP_S: float = 60.0
+_INFER_REC_BASE_S: float = 5.0
+_INFER_REC_LINEAR_S: float = 0.11  # s per residue
+_INFER_REC_QUAD_S: float = 2.8e-4  # s per residue^2
+
+
+def inference_recycle_seconds(length: int) -> float:
+    """GPU time of one recycle (one forward pass) at a given length."""
+    if length < 1:
+        raise ValueError("length must be positive")
+    return (
+        _INFER_REC_BASE_S
+        + _INFER_REC_LINEAR_S * length
+        + _INFER_REC_QUAD_S * length * length
+    )
+
+
+#: Ensembling cost grows slightly superlinearly: the 8-ensemble casp14
+#: preset pushes past GPU memory into host paging on long targets (the
+#: same pressure that OOMs its longest sequences outright).
+_ENSEMBLE_COST_EXPONENT: float = 1.3
+
+
+def inference_task_seconds(
+    length: int, n_recycles: int, n_ensembles: int = 1
+) -> float:
+    """GPU time of one (model, target) inference task."""
+    if n_recycles < 1 or n_ensembles < 1:
+        raise ValueError("recycles and ensembles must be >= 1")
+    ensemble_cost = float(n_ensembles) ** _ENSEMBLE_COST_EXPONENT
+    return _INFER_SETUP_S + ensemble_cost * n_recycles * inference_recycle_seconds(
+        length
+    )
+
+
+# --- Feature generation (CPU) -----------------------------------------------
+
+_FEATURE_BASE_S: float = 400.0
+_FEATURE_LINEAR_S: float = 4.27  # s per residue at nominal contention
+
+
+#: Speedup of a GPU-accelerated HMM search engine over the CPU codes,
+#: from the 2009 GPU-HMMER result the paper's conclusion cites (§5):
+#: "one version reported in 2009 achieving a 38-fold speedup".  Applies
+#: to the compute-bound share of a search only — I/O does not move.
+GPU_MSA_SPEEDUP: float = 38.0
+
+
+def feature_task_seconds(
+    length: int,
+    dataset_fraction: float = 1.0,
+    io_contention: float = 1.0,
+    gpu_accelerated: bool = False,
+) -> float:
+    """Wall time of one target's MSA search + feature build.
+
+    Calibrated so that the paper's deployment — searches against the
+    *reduced* dataset (fraction ~0.2), four concurrent jobs per Andes
+    node, uncontended replicas — spends ~240 node-hours on the 3,205
+    *D. vulgaris* targets (§4.1): one mean-length search then takes
+    ~18 min of wall time while sharing its node four ways.
+
+    ``dataset_fraction`` scales with the library size actually searched
+    (the reduced dataset is ~20% of the full 2.1 TB);
+    ``io_contention`` >= 1 multiplies the I/O-bound share of the search
+    when too many jobs share one library replica (§3.2.1);
+    ``gpu_accelerated`` applies the §5 what-if: a GPU HMM engine speeds
+    the compute-bound share by :data:`GPU_MSA_SPEEDUP` (I/O unchanged —
+    which is why the paper's I/O engineering would still matter).
+    """
+    if length < 1:
+        raise ValueError("length must be positive")
+    if dataset_fraction <= 0 or io_contention < 1.0:
+        raise ValueError("bad dataset_fraction or io_contention")
+    compute = 0.35 * (_FEATURE_BASE_S + _FEATURE_LINEAR_S * length)
+    if gpu_accelerated:
+        compute /= GPU_MSA_SPEEDUP
+    io = 0.65 * (_FEATURE_BASE_S + _FEATURE_LINEAR_S * length)
+    return compute + io * dataset_fraction**0.6 * io_contention
+
+
+# --- Relaxation ---------------------------------------------------------------
+
+_RELAX_CPU_BASE_S: float = 20.0
+_RELAX_CPU_COEF: float = 0.00626
+_RELAX_CPU_EXP: float = 1.25
+_RELAX_GPU_BASE_S: float = 6.0
+_RELAX_GPU_COEF: float = 0.012
+_RELAX_GPU_EXP: float = 0.9
+
+
+def relax_pass_seconds(n_heavy_atoms: int, device: str) -> float:
+    """Time of one energy-minimisation pass.
+
+    CPU minimisation is superlinear in system size (force evaluation
+    plus many more iterations to converge); GPU offload is sublinear in
+    the regime of interest because the per-iteration cost parallelises.
+    """
+    if n_heavy_atoms < 1:
+        raise ValueError("n_heavy_atoms must be positive")
+    if device == "cpu":
+        return _RELAX_CPU_BASE_S + _RELAX_CPU_COEF * n_heavy_atoms**_RELAX_CPU_EXP
+    if device == "gpu":
+        return _RELAX_GPU_BASE_S + _RELAX_GPU_COEF * n_heavy_atoms**_RELAX_GPU_EXP
+    raise ValueError(f"unknown device {device!r}")
+
+
+def relax_task_seconds(
+    n_heavy_atoms: int, n_minimizations: int, device: str
+) -> float:
+    """Time of a full relaxation task (possibly multi-pass, §3.2.3)."""
+    if n_minimizations < 1:
+        raise ValueError("n_minimizations must be >= 1")
+    return n_minimizations * relax_pass_seconds(n_heavy_atoms, device)

@@ -1,0 +1,96 @@
+"""Machine models: Summit, Andes, Phoenix.
+
+Static descriptions of the three systems the paper used, at the level
+of detail the workflows care about: node counts, per-node resources,
+high-memory partitions, and accounting units (node-hours).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import constants as C
+
+__all__ = ["MachineSpec", "SUMMIT", "ANDES", "PHOENIX", "MACHINES"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One HPC system as the scheduler sees it."""
+
+    name: str
+    n_nodes: int
+    cores_per_node: int
+    gpus_per_node: int
+    node_memory_bytes: int
+    gpu_memory_bytes: int = 0
+    n_highmem_nodes: int = 0
+    highmem_node_memory_bytes: int = 0
+
+    @property
+    def total_gpus(self) -> int:
+        return self.n_nodes * self.gpus_per_node
+
+    @property
+    def has_gpus(self) -> bool:
+        return self.gpus_per_node > 0
+
+    def workers_per_node(self, one_per_gpu: bool = True) -> int:
+        """Dask workers per node: one per GPU on GPU machines (§3.3)."""
+        if one_per_gpu and self.has_gpus:
+            return self.gpus_per_node
+        return max(1, self.cores_per_node // 8)
+
+    def worker_memory_bytes(self, highmem: bool = False) -> int:
+        """Host memory share of one worker."""
+        per_node = (
+            self.highmem_node_memory_bytes if highmem else self.node_memory_bytes
+        )
+        return per_node // self.workers_per_node()
+
+    def node_hours(self, n_nodes: int, wall_seconds: float) -> float:
+        """Accounting: node allocation x wall time, in node-hours."""
+        if n_nodes < 0 or wall_seconds < 0:
+            raise ValueError("node count and wall time must be non-negative")
+        if n_nodes > self.n_nodes:
+            raise ValueError(
+                f"{self.name} has {self.n_nodes} nodes; requested {n_nodes}"
+            )
+        return n_nodes * wall_seconds / 3600.0
+
+
+#: Summit: ~4,600 nodes, 2x POWER9 + 6x V100 each (§3).
+SUMMIT = MachineSpec(
+    name="summit",
+    n_nodes=C.SUMMIT_NODE_COUNT,
+    cores_per_node=C.SUMMIT_CORES_PER_NODE,
+    gpus_per_node=C.SUMMIT_GPUS_PER_NODE,
+    node_memory_bytes=C.SUMMIT_NODE_MEMORY_BYTES,
+    gpu_memory_bytes=C.SUMMIT_GPU_MEMORY_BYTES,
+    n_highmem_nodes=54,
+    highmem_node_memory_bytes=C.SUMMIT_HIGHMEM_NODE_MEMORY_BYTES,
+)
+
+#: Andes: 704-node commodity analysis cluster, 2x 16-core EPYC each.
+ANDES = MachineSpec(
+    name="andes",
+    n_nodes=C.ANDES_NODE_COUNT,
+    cores_per_node=C.ANDES_CORES_PER_NODE,
+    gpus_per_node=0,
+    node_memory_bytes=C.ANDES_NODE_MEMORY_BYTES,
+)
+
+#: PACE Phoenix (Georgia Tech): mixed CPU/GPU; the paper ran the
+#: original AlphaFold relaxation benchmark on its CPU nodes.
+PHOENIX = MachineSpec(
+    name="phoenix",
+    n_nodes=1200,
+    cores_per_node=24,
+    gpus_per_node=4,
+    node_memory_bytes=192 * 2**30,
+    gpu_memory_bytes=24 * 2**30,
+)
+
+MACHINES: dict[str, MachineSpec] = {
+    m.name: m for m in (SUMMIT, ANDES, PHOENIX)
+}

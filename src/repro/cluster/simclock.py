@@ -1,0 +1,62 @@
+"""Discrete-event simulation clock.
+
+A minimal, deterministic event engine: callbacks scheduled at absolute
+times, executed in (time, sequence) order so simultaneous events resolve
+in submission order.  The simulated dataflow executor and the I/O model
+are built on it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Deterministic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds from now (>= 0)."""
+        if delay < 0:
+            raise ValueError("cannot schedule events in the past")
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._counter), callback)
+        )
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise ValueError("cannot schedule events in the past")
+        heapq.heappush(self._queue, (when, next(self._counter), callback))
+
+    def run(self, until: float | None = None) -> float:
+        """Process events until the queue is empty (or ``until``).
+
+        Returns the final simulated time.  Callbacks may schedule more
+        events; determinism is guaranteed by the (time, seq) ordering.
+        """
+        while self._queue:
+            when, _seq, callback = self._queue[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = when
+            callback()
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._queue)

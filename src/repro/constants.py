@@ -1,0 +1,206 @@
+"""Paper-quoted constants and physical parameters.
+
+Every number that the paper states explicitly lives here, with a comment
+pointing at the section it came from, so that benchmarks and tests refer
+to a single source of truth instead of scattering magic numbers.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Structural violation definitions (paper §3.2.3, after Tress et al. CASP6)
+# --------------------------------------------------------------------------
+
+#: A "clash": Calpha-Calpha pairwise distance below this value (Angstrom).
+CLASH_CUTOFF_ANGSTROM: float = 1.9
+
+#: A "bump": Calpha-Calpha pairwise distance below this value (Angstrom).
+BUMP_CUTOFF_ANGSTROM: float = 3.6
+
+#: A model is "clashed" if it has more than this many clashes ...
+MAX_CLASHES_FOR_CLEAN_MODEL: int = 4
+
+#: ... or more than this many bumps.
+MAX_BUMPS_FOR_CLEAN_MODEL: int = 50
+
+# --------------------------------------------------------------------------
+# Relaxation protocol (paper §3.2.3)
+# --------------------------------------------------------------------------
+
+#: Energy-difference convergence criterion for minimization (kcal/mol).
+RELAX_ENERGY_TOLERANCE_KCAL: float = 2.39
+
+#: Harmonic positional restraint force constant on heavy atoms
+#: (kcal / mol / Angstrom^2).
+RELAX_RESTRAINT_K: float = 10.0
+
+# --------------------------------------------------------------------------
+# Recycling control (paper §3.2.2, after ColabFold)
+# --------------------------------------------------------------------------
+
+#: Distogram-change early-stop threshold for the ``genome`` preset.
+GENOME_RECYCLE_TOLERANCE: float = 0.5
+
+#: Distogram-change early-stop threshold for the ``super`` preset.
+SUPER_RECYCLE_TOLERANCE: float = 0.1
+
+#: Upper bound on the number of recycles in the custom presets.
+MAX_RECYCLES: int = 20
+
+#: Floor the adaptive recycle cap never goes below for long sequences.
+MIN_RECYCLES_LONG_SEQUENCE: int = 6
+
+#: Length (AA) beyond which the recycle cap is reduced progressively.
+RECYCLE_TAPER_START_LENGTH: int = 500
+
+#: Fixed recycle count used by the official AlphaFold presets.
+OFFICIAL_PRESET_RECYCLES: int = 3
+
+#: Ensemble counts for the official presets.
+REDUCED_DBS_ENSEMBLES: int = 1
+CASP14_ENSEMBLES: int = 8
+
+#: Sequences above this length are excluded from proteome runs (§3.2.2).
+MAX_PROTEOME_SEQUENCE_LENGTH: int = 2500
+
+# --------------------------------------------------------------------------
+# Quality thresholds (paper §4.2, §4.3.1)
+# --------------------------------------------------------------------------
+
+#: pLDDT above this is considered a high-quality (local) model.
+HIGH_QUALITY_PLDDT: float = 70.0
+
+#: pLDDT above this is considered ultra-high confidence.
+ULTRA_HIGH_PLDDT: float = 90.0
+
+#: pTMS above this is considered a high-quality global model.
+HIGH_QUALITY_PTMS: float = 0.60
+
+# --------------------------------------------------------------------------
+# Sequence-library storage (paper §3.2.1)
+# --------------------------------------------------------------------------
+
+#: Full sequence-library dataset size (UniProt+MGnify+BFD+PDB), bytes.
+FULL_DATASET_BYTES: int = 2_100_000_000_000  # 2.1 TB
+
+#: Reduced dataset (deduplicated BFD) size, bytes.
+REDUCED_DATASET_BYTES: int = 420_000_000_000  # 420 GB
+
+#: Number of replicated library copies placed on the parallel filesystem.
+LIBRARY_REPLICA_COUNT: int = 24
+
+#: Concurrent search jobs sharing one library replica.
+JOBS_PER_LIBRARY_REPLICA: int = 4
+
+# --------------------------------------------------------------------------
+# Machines (paper §3)
+# --------------------------------------------------------------------------
+
+#: Approximate Summit node count.
+SUMMIT_NODE_COUNT: int = 4600
+
+#: GPUs per Summit node.
+SUMMIT_GPUS_PER_NODE: int = 6
+
+#: CPU cores per Summit node usable by jsrun (2x POWER9, 21 cores each
+#: available to jobs).
+SUMMIT_CORES_PER_NODE: int = 42
+
+#: Main memory per standard Summit node, bytes (512 GB usable DDR4).
+SUMMIT_NODE_MEMORY_BYTES: int = 512 * 2**30
+
+#: Main memory of the Summit high-memory nodes (2 TB DDR4).
+SUMMIT_HIGHMEM_NODE_MEMORY_BYTES: int = 2 * 2**40
+
+#: GPU memory of a V100 on Summit (16 GB HBM2).
+SUMMIT_GPU_MEMORY_BYTES: int = 16 * 2**30
+
+#: Andes node count.
+ANDES_NODE_COUNT: int = 704
+
+#: Cores per Andes node (2x 16-core AMD EPYC 7302).
+ANDES_CORES_PER_NODE: int = 32
+
+#: Main memory per Andes node (256 GB).
+ANDES_NODE_MEMORY_BYTES: int = 256 * 2**30
+
+# --------------------------------------------------------------------------
+# AlphaFold model ensemble (paper §3.3)
+# --------------------------------------------------------------------------
+
+#: Number of distinct DL models, each producing one structure per target.
+NUM_AF2_MODELS: int = 5
+
+#: Number of models that consume structural-template features (§3.2.1).
+NUM_TEMPLATE_MODELS: int = 2
+
+# --------------------------------------------------------------------------
+# Species catalog (paper §4): number of final top-ranked predicted
+# structures reported per species.
+# --------------------------------------------------------------------------
+
+SPECIES_STRUCTURE_COUNTS: dict[str, int] = {
+    "P_mercurii": 3446,
+    "R_rubrum": 3849,
+    "D_vulgaris": 3205,
+    "S_divinum": 25134,
+}
+
+#: Total predicted sequences across the four proteomes (paper abstract).
+TOTAL_SEQUENCES: int = 35634  # note: paper counts 35,634 incl. benchmark runs
+
+# --------------------------------------------------------------------------
+# Benchmark workload shapes (paper §4.2, §4.1)
+# --------------------------------------------------------------------------
+
+#: Size of the D. vulgaris preset benchmark set.
+BENCHMARK_SET_SIZE: int = 559
+
+#: Length range and mean of the benchmark set.
+BENCHMARK_MIN_LENGTH: int = 29
+BENCHMARK_MAX_LENGTH: int = 1266
+BENCHMARK_MEAN_LENGTH: int = 202
+
+#: Mean length of the full D. vulgaris proteome (§4.1).
+D_VULGARIS_MEAN_LENGTH: int = 328
+
+#: CASP14-like evaluation set sizes (§4.4).
+CASP_TARGETS_WITH_CRYSTALS: int = 19
+CASP_TOTAL_MODELS: int = 160
+
+# --------------------------------------------------------------------------
+# Reported resource costs, used for cost-model calibration, not asserted
+# exactly by any test (§4.1, §4.3.1, §4.5, Table 1).
+# --------------------------------------------------------------------------
+
+#: D. vulgaris: feature generation node-hours on Andes.
+DVULGARIS_FEATURE_NODE_HOURS: float = 240.0
+
+#: D. vulgaris: inference node-hours on Summit.
+DVULGARIS_INFERENCE_NODE_HOURS: float = 400.0
+
+#: S. divinum: feature generation node-hours on Andes.
+SDIVINUM_FEATURE_NODE_HOURS: float = 2000.0
+
+#: S. divinum: inference node-hours on Summit.
+SDIVINUM_INFERENCE_NODE_HOURS: float = 3000.0
+
+#: Table 1 wall times in minutes (reduced_db / genome / super presets on
+#: 32 nodes; casp14 lower bound on 91 nodes).
+TABLE1_WALLTIME_MINUTES: dict[str, float] = {
+    "reduced_db": 44.0,
+    "genome": 50.0,
+    "super": 58.0,
+    "casp14": 150.0,
+}
+
+#: Fraction of super-preset walltime attributed to overhead (§4.2).
+SUPER_PRESET_OVERHEAD_FRACTION: float = 0.16
+
+#: Genome-scale relaxation: 3205 structures in 22.89 minutes on 48 workers.
+GENOME_RELAX_MINUTES: float = 22.89
+GENOME_RELAX_WORKERS: int = 48
+
+#: Largest Dask deployment reported: 1000 nodes, 6000 workers.
+MAX_DEPLOYED_NODES: int = 1000
+MAX_DEPLOYED_WORKERS: int = 6000

@@ -1,0 +1,42 @@
+"""Core pipeline: presets, workloads, three-stage deployment, statistics."""
+
+from .pipeline import (
+    FeatureStageResult,
+    InferenceStageResult,
+    PipelineResult,
+    ProteomePipeline,
+    RelaxStageResult,
+    kingdom_bias_for,
+)
+from .presets import PRESETS, Preset, get_preset
+from .stats import (
+    ImprovementConcentration,
+    PresetBenchmarkRow,
+    ProteomeSummary,
+    benchmark_row,
+    improvement_concentration,
+    summarize_proteome,
+)
+from .workloads import CaspTarget, benchmark_set, benchmark_suite, casp_targets
+
+__all__ = [
+    "FeatureStageResult",
+    "InferenceStageResult",
+    "PipelineResult",
+    "ProteomePipeline",
+    "RelaxStageResult",
+    "kingdom_bias_for",
+    "PRESETS",
+    "Preset",
+    "get_preset",
+    "ImprovementConcentration",
+    "PresetBenchmarkRow",
+    "ProteomeSummary",
+    "benchmark_row",
+    "improvement_concentration",
+    "summarize_proteome",
+    "CaspTarget",
+    "benchmark_set",
+    "benchmark_suite",
+    "casp_targets",
+]

@@ -1,0 +1,340 @@
+"""The three-stage proteome pipeline (the paper's deployment, end to end).
+
+Stage 1 — **feature generation** on Andes (CPU): MSA search against the
+replicated libraries; costs follow the I/O-contention-aware model.
+
+Stage 2 — **model inference** on Summit (GPU): five surrogate models per
+target via the dataflow executor, greedy descending-length order, OOM
+tasks routed to high-memory nodes.
+
+Stage 3 — **geometry optimisation** on Summit (GPU): single-pass
+restrained minimisation of each top-ranked model.
+
+Each stage produces both *scientific* output (features, predictions,
+relaxed structures — computed for real by the surrogate substrates) and
+*operational* output (a simulated-time workflow run with per-task
+records, wall time and node-hours, from the calibrated cost model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.costmodel import (
+    feature_task_seconds,
+    inference_task_seconds,
+    relax_task_seconds,
+)
+from ..cluster.machine import ANDES, SUMMIT, MachineSpec
+from ..constants import REDUCED_DATASET_BYTES
+from ..dataflow.scheduler import TaskSpec, WorkerInfo, make_workers
+from ..dataflow.simulated import SimulationResult, simulate_dataflow
+from ..fold.generator import NativeFactory
+from ..fold.memory import (
+    highmem_worker_memory_bytes,
+    inference_memory_bytes,
+    standard_worker_memory_bytes,
+)
+from ..fold.model import (
+    OutOfMemoryError,
+    Prediction,
+    SurrogateFoldModel,
+)
+from ..iosim.replication import ReplicationPlan, paper_plan
+from ..msa.databases import LibrarySuite
+from ..msa.features import FeatureBundle, FeatureGenConfig, generate_features
+from ..relax.protocols import RelaxOutcome, SinglePassRelaxProtocol
+from ..sequences.generator import ProteinRecord
+from ..sequences.proteome import SPECIES, Proteome
+from ..structure.protein import Structure
+from .presets import Preset, get_preset
+
+__all__ = [
+    "FeatureStageResult",
+    "InferenceStageResult",
+    "RelaxStageResult",
+    "PipelineResult",
+    "ProteomePipeline",
+    "kingdom_bias_for",
+]
+
+
+def kingdom_bias_for(species: str) -> float:
+    """Difficulty bias by kingdom: plant proteomes model harder (§4.3.1)."""
+    spec = SPECIES.get(species)
+    if spec is None:
+        return 0.0
+    return 0.08 if spec.kingdom == "plant" else 0.0
+
+
+@dataclass
+class FeatureStageResult:
+    """Output of the CPU feature-generation campaign."""
+
+    features: dict[str, FeatureBundle]
+    simulation: SimulationResult
+    n_nodes: int
+    machine: MachineSpec
+    plan: ReplicationPlan
+
+    @property
+    def node_hours(self) -> float:
+        return self.simulation.node_hours(self.n_nodes)
+
+
+@dataclass
+class InferenceStageResult:
+    """Output of the GPU inference campaign."""
+
+    predictions: dict[str, list[Prediction]]
+    top_models: dict[str, Prediction]
+    oom_failures: list[tuple[str, str]]  # (record_id, model_name)
+    simulation: SimulationResult
+    n_nodes: int
+    machine: MachineSpec
+    preset: Preset
+
+    @property
+    def node_hours(self) -> float:
+        return self.simulation.node_hours(self.n_nodes)
+
+    def mean_top_plddt(self) -> float:
+        vals = [p.mean_plddt for p in self.top_models.values()]
+        return float(np.mean(vals)) if vals else 0.0
+
+    def mean_top_ptms(self) -> float:
+        vals = [p.ptms for p in self.top_models.values()]
+        return float(np.mean(vals)) if vals else 0.0
+
+    def mean_recycles(self) -> float:
+        vals = [p.n_recycles for p in self.top_models.values()]
+        return float(np.mean(vals)) if vals else 0.0
+
+
+@dataclass
+class RelaxStageResult:
+    """Output of the GPU geometry-optimisation campaign."""
+
+    outcomes: dict[str, RelaxOutcome]
+    simulation: SimulationResult
+    n_nodes: int
+    machine: MachineSpec
+
+    @property
+    def node_hours(self) -> float:
+        return self.simulation.node_hours(self.n_nodes)
+
+
+@dataclass
+class PipelineResult:
+    """The whole campaign."""
+
+    feature_stage: FeatureStageResult
+    inference_stage: InferenceStageResult
+    relax_stage: RelaxStageResult
+
+    @property
+    def total_node_hours(self) -> float:
+        return (
+            self.feature_stage.node_hours
+            + self.inference_stage.node_hours
+            + self.relax_stage.node_hours
+        )
+
+
+@dataclass
+class ProteomePipeline:
+    """Orchestrates the three decoupled workflows.
+
+    Parameters mirror the paper's deployment: library replication plan,
+    preset choice, node counts per stage, and the cutoff separating
+    standard from high-memory inference workers.
+    """
+
+    preset_name: str = "genome"
+    feature_nodes: int = 24
+    inference_nodes: int = 32
+    inference_highmem_nodes: int = 2
+    relax_nodes: int = 8
+    feature_machine: MachineSpec = field(default_factory=lambda: ANDES)
+    gpu_machine: MachineSpec = field(default_factory=lambda: SUMMIT)
+    replication_plan: ReplicationPlan | None = None
+    feature_config: FeatureGenConfig | None = None
+    #: Route memory-hungry tasks to 2 TB nodes.  The paper did this for
+    #: its proteome runs (§3.3); the Table 1 casp14 benchmark did *not*,
+    #: which is why its eight longest sequences were lost to OOM.
+    use_highmem_routing: bool = True
+
+    # -- Stage 1 -----------------------------------------------------------
+    def run_feature_stage(
+        self, proteome: Proteome, suite: LibrarySuite
+    ) -> FeatureStageResult:
+        """MSA search for every target; Andes CPU workflow."""
+        plan = self.replication_plan or paper_plan(REDUCED_DATASET_BYTES)
+        contention = plan.contention()
+        dataset_fraction = suite.total_modeled_bytes / 2.1e12
+        features: dict[str, FeatureBundle] = {}
+        tasks: list[TaskSpec] = []
+        for record in proteome:
+            bundle = generate_features(record, suite, self.feature_config)
+            features[record.record_id] = bundle
+            tasks.append(
+                TaskSpec(
+                    key=record.record_id,
+                    payload=record.length,
+                    size_hint=record.length,
+                )
+            )
+        # One search job per concurrent slot: the plan's replica layout
+        # bounds useful concurrency regardless of node count.
+        n_workers = min(plan.n_concurrent_jobs, self.feature_nodes * 4)
+        workers = make_workers(self.feature_nodes, max(1, n_workers // self.feature_nodes))
+
+        def duration(task: TaskSpec) -> float:
+            return feature_task_seconds(
+                int(task.payload),
+                dataset_fraction=max(dataset_fraction, 1e-3),
+                io_contention=contention,
+            )
+
+        sim = simulate_dataflow(tasks, workers, duration)
+        return FeatureStageResult(
+            features=features,
+            simulation=sim,
+            n_nodes=self.feature_nodes,
+            machine=self.feature_machine,
+            plan=plan,
+        )
+
+    # -- Stage 2 -----------------------------------------------------------
+    def run_inference_stage(
+        self,
+        features: dict[str, FeatureBundle],
+        factory: NativeFactory,
+        preset_name: str | None = None,
+    ) -> InferenceStageResult:
+        """Five models per target on the dataflow executor.
+
+        Tasks are (model, target) pairs — the paper's decomposition for
+        load balance (§3.3).  Tasks that exceed standard worker memory
+        run on the high-memory workers; tasks that exceed even those
+        fail and are recorded, as the casp14 benchmark rows did.
+        """
+        preset = get_preset(preset_name or self.preset_name)
+        bank = [SurrogateFoldModel(factory, i) for i in range(5)]
+        predictions: dict[str, list[Prediction]] = {}
+        oom: list[tuple[str, str]] = []
+        tasks: list[TaskSpec] = []
+        durations: dict[str, float] = {}
+        std_budget = standard_worker_memory_bytes()
+        hm_budget = highmem_worker_memory_bytes()
+        for record_id, bundle in features.items():
+            bias = kingdom_bias_for(bundle.record.species)
+            needed = inference_memory_bytes(
+                bundle.length, preset.n_ensembles, bundle.msa_depth
+            )
+            budget = std_budget
+            if self.use_highmem_routing and needed > std_budget:
+                budget = hm_budget
+            config = preset.config(
+                kingdom_bias=bias, memory_budget_bytes=budget
+            )
+            for model in bank:
+                key = f"{record_id}/{model.name}"
+                try:
+                    pred = model.predict(bundle, config)
+                except OutOfMemoryError:
+                    oom.append((record_id, model.name))
+                    durations[key] = 30.0  # fast abort
+                    tasks.append(
+                        TaskSpec(key=key, payload=None, size_hint=bundle.length)
+                    )
+                    continue
+                predictions.setdefault(record_id, []).append(pred)
+                durations[key] = inference_task_seconds(
+                    bundle.length, pred.n_recycles, preset.n_ensembles
+                )
+                tasks.append(
+                    TaskSpec(key=key, payload=None, size_hint=bundle.length)
+                )
+        workers = make_workers(
+            self.inference_nodes,
+            self.gpu_machine.gpus_per_node,
+            highmem_nodes=self.inference_highmem_nodes,
+        )
+        sim = simulate_dataflow(tasks, workers, lambda t: durations[t.key])
+        top = {
+            rid: max(preds, key=lambda p: p.ptms)
+            for rid, preds in predictions.items()
+            if preds
+        }
+        return InferenceStageResult(
+            predictions=predictions,
+            top_models=top,
+            oom_failures=oom,
+            simulation=sim,
+            n_nodes=self.inference_nodes,
+            machine=self.gpu_machine,
+            preset=preset,
+        )
+
+    # -- Stage 3 -----------------------------------------------------------
+    def run_relax_stage(
+        self, structures: dict[str, Structure]
+    ) -> RelaxStageResult:
+        """Single-pass GPU relaxation of the top models (§3.4)."""
+        protocol = SinglePassRelaxProtocol(device="gpu")
+        outcomes: dict[str, RelaxOutcome] = {}
+        tasks: list[TaskSpec] = []
+        durations: dict[str, float] = {}
+        for record_id, structure in structures.items():
+            outcome = protocol.run(structure)
+            outcomes[record_id] = outcome
+            durations[record_id] = relax_task_seconds(
+                outcome.n_heavy_atoms, outcome.n_minimizations, device="gpu"
+            )
+            tasks.append(
+                TaskSpec(
+                    key=record_id, payload=None, size_hint=len(structure)
+                )
+            )
+        workers = make_workers(
+            self.relax_nodes, self.gpu_machine.gpus_per_node
+        )
+        sim = simulate_dataflow(tasks, workers, lambda t: durations[t.key])
+        return RelaxStageResult(
+            outcomes=outcomes,
+            simulation=sim,
+            n_nodes=self.relax_nodes,
+            machine=self.gpu_machine,
+        )
+
+    # -- Full campaign -------------------------------------------------------
+    def run(
+        self,
+        proteome: Proteome,
+        suite: LibrarySuite,
+        factory: NativeFactory | None = None,
+    ) -> PipelineResult:
+        if factory is None:
+            raise ValueError(
+                "pass the NativeFactory built on the same universe as the "
+                "proteome — predictions are meaningless otherwise"
+            )
+        feature_stage = self.run_feature_stage(proteome, suite)
+        inference_stage = self.run_inference_stage(
+            feature_stage.features, factory
+        )
+        relax_stage = self.run_relax_stage(
+            {
+                rid: pred.structure
+                for rid, pred in inference_stage.top_models.items()
+            }
+        )
+        return PipelineResult(
+            feature_stage=feature_stage,
+            inference_stage=inference_stage,
+            relax_stage=relax_stage,
+        )

@@ -1,0 +1,106 @@
+"""Inference presets (paper §3.2.2, Table 1).
+
+Two official AlphaFold presets plus the paper's two custom ones:
+
+=============  =========  ========================  ============
+preset         ensembles  recycling                 origin
+=============  =========  ========================  ============
+reduced_db     1          fixed 3                   official
+casp14         8          fixed 3                   official
+genome         1          adaptive, tol 0.5, <=20   this paper
+super          1          adaptive, tol 0.1, <=20   this paper
+=============  =========  ========================  ============
+
+The custom presets stop recycling early when the inter-recycle
+distogram change falls below the tolerance, and taper the recycle cap
+from 20 down to 6 as sequence length grows past 500 AA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import constants as C
+from ..fold.model import PredictionConfig
+
+__all__ = ["Preset", "PRESETS", "get_preset"]
+
+
+@dataclass(frozen=True)
+class Preset:
+    """A named inference configuration."""
+
+    name: str
+    description: str
+    n_ensembles: int
+    recycle_tolerance: float | None
+    max_recycles: int
+    adaptive_cap: bool
+    official: bool
+
+    def config(
+        self,
+        kingdom_bias: float = 0.0,
+        memory_budget_bytes: int | None = None,
+    ) -> PredictionConfig:
+        """Materialise the matching :class:`PredictionConfig`."""
+        return PredictionConfig(
+            n_ensembles=self.n_ensembles,
+            recycle_tolerance=self.recycle_tolerance,
+            max_recycles=self.max_recycles,
+            adaptive_cap=self.adaptive_cap,
+            kingdom_bias=kingdom_bias,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+
+
+PRESETS: dict[str, Preset] = {
+    "reduced_db": Preset(
+        name="reduced_db",
+        description="Official single-ensemble preset, 3 fixed recycles "
+        "(DeepMind's proteome-scale choice)",
+        n_ensembles=C.REDUCED_DBS_ENSEMBLES,
+        recycle_tolerance=None,
+        max_recycles=C.OFFICIAL_PRESET_RECYCLES,
+        adaptive_cap=False,
+        official=True,
+    ),
+    "casp14": Preset(
+        name="casp14",
+        description="Official competition preset: 8 ensembles, 3 recycles "
+        "(~8x compute)",
+        n_ensembles=C.CASP14_ENSEMBLES,
+        recycle_tolerance=None,
+        max_recycles=C.OFFICIAL_PRESET_RECYCLES,
+        adaptive_cap=False,
+        official=True,
+    ),
+    "genome": Preset(
+        name="genome",
+        description="This paper's proteome preset: adaptive recycling, "
+        "distogram tolerance 0.5, cap 20 tapering to 6",
+        n_ensembles=1,
+        recycle_tolerance=C.GENOME_RECYCLE_TOLERANCE,
+        max_recycles=C.MAX_RECYCLES,
+        adaptive_cap=True,
+        official=False,
+    ),
+    "super": Preset(
+        name="super",
+        description="Stringent adaptive preset: distogram tolerance 0.1",
+        n_ensembles=1,
+        recycle_tolerance=C.SUPER_RECYCLE_TOLERANCE,
+        max_recycles=C.MAX_RECYCLES,
+        adaptive_cap=True,
+        official=False,
+    ),
+}
+
+
+def get_preset(name: str) -> Preset:
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; options: {sorted(PRESETS)}"
+        ) from None

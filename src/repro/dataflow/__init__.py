@@ -1,0 +1,33 @@
+"""Dataflow substrate: Dask-like queue/worker model, two executors, reporting."""
+
+from .client import Client, Future, SchedulerService
+from .engine import ExecutionResult, ThreadedExecutor
+from .reporting import (
+    GanttLane,
+    extract_gantt,
+    load_task_csv,
+    render_ascii_gantt,
+    summarize_records,
+)
+from .scheduler import TaskQueue, TaskRecord, TaskSpec, WorkerInfo, make_workers
+from .simulated import SimulationResult, simulate_dataflow
+
+__all__ = [
+    "Client",
+    "Future",
+    "SchedulerService",
+    "ExecutionResult",
+    "ThreadedExecutor",
+    "GanttLane",
+    "extract_gantt",
+    "load_task_csv",
+    "render_ascii_gantt",
+    "summarize_records",
+    "TaskQueue",
+    "TaskRecord",
+    "TaskSpec",
+    "WorkerInfo",
+    "make_workers",
+    "SimulationResult",
+    "simulate_dataflow",
+]

@@ -1,0 +1,208 @@
+"""Client/futures front-end with scheduler-file registration.
+
+Mirrors the Dask deployment mechanics of §3.3 step by step:
+
+1. a :class:`SchedulerService` starts and writes a JSON *scheduler
+   file* describing its address;
+2. workers read that file and register with the scheduler (one per
+   GPU in the paper's layout);
+3. the driving script creates a :class:`Client` against the same
+   scheduler file, ``map``s the task list (sorted descending by size),
+   receives :class:`Future` objects, and appends per-task statistics to
+   a CSV as tasks complete.
+
+Execution is in-process threads (the substitute for Summit's node
+fabric), but the *protocol* — registration file, client/scheduler
+separation, futures, completion callbacks — is the paper's.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from .engine import ExecutionResult
+from .scheduler import TaskQueue, TaskRecord, TaskSpec, WorkerInfo, make_workers
+
+__all__ = ["SchedulerService", "Future", "Client"]
+
+
+class SchedulerService:
+    """The scheduler process: owns the queue and the worker registry."""
+
+    def __init__(self, scheduler_file: str | Path) -> None:
+        self.scheduler_file = Path(scheduler_file)
+        self.address = f"inproc://scheduler-{id(self):x}"
+        self.workers: list[WorkerInfo] = []
+        self.queue = TaskQueue()
+        self._lock = threading.Lock()
+        self.scheduler_file.write_text(
+            json.dumps({"address": self.address, "type": "repro-scheduler"}),
+            encoding="utf-8",
+        )
+
+    def register_worker(self, worker: WorkerInfo) -> None:
+        """Workers call this after reading the scheduler file (§3.3-2)."""
+        with self._lock:
+            self.workers.append(worker)
+
+    def spawn_workers(self, n_nodes: int, workers_per_node: int) -> None:
+        """Convenience: start one worker per GPU across the allocation."""
+        for worker in make_workers(n_nodes, workers_per_node):
+            self.register_worker(worker)
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.workers)
+
+    def close(self) -> None:
+        if self.scheduler_file.exists():
+            self.scheduler_file.unlink()
+
+
+@dataclass
+class Future:
+    """Handle to one submitted task."""
+
+    key: str
+    _event: threading.Event
+    _result: list  # single-slot box
+    _error: list
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> Any:
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"task {self.key} not finished")
+        if self._error:
+            raise RuntimeError(self._error[0])
+        return self._result[0]
+
+    def exception(self) -> str | None:
+        self._event.wait()
+        return self._error[0] if self._error else None
+
+
+class Client:
+    """The driving script's connection to a scheduler (§3.3 step 3a)."""
+
+    def __init__(self, scheduler_file: str | Path) -> None:
+        path = Path(scheduler_file)
+        if not path.exists():
+            raise FileNotFoundError(
+                f"scheduler file {path} not found — start the scheduler first"
+            )
+        info = json.loads(path.read_text(encoding="utf-8"))
+        if info.get("type") != "repro-scheduler":
+            raise ValueError(f"{path} is not a repro scheduler file")
+        self.scheduler_address = info["address"]
+        self._service: SchedulerService | None = None
+
+    def connect(self, service: SchedulerService) -> "Client":
+        """Bind to the in-process scheduler service (transport stand-in)."""
+        if service.address != self.scheduler_address:
+            raise ValueError("scheduler file does not match this service")
+        self._service = service
+        return self
+
+    def map(
+        self,
+        func: Callable[[Any], Any],
+        items: Iterable[tuple[str, Any, float]],
+        sort_descending: bool = True,
+        stats_csv: str | Path | None = None,
+    ) -> list[Future]:
+        """Submit all tasks; returns futures in submission order.
+
+        ``stats_csv`` streams per-task statistics as they complete
+        (§3.3 step 3e).  Workers pull greedily from the shared queue.
+        """
+        if self._service is None:
+            raise RuntimeError("client not connected; call connect() first")
+        service = self._service
+        if service.n_workers == 0:
+            raise RuntimeError("no workers registered with the scheduler")
+        futures: dict[str, Future] = {}
+        for key, payload, size_hint in items:
+            if key in futures:
+                raise ValueError(f"duplicate task key {key!r}")
+            futures[key] = Future(
+                key=key, _event=threading.Event(), _result=[], _error=[]
+            )
+            service.queue.submit(
+                TaskSpec(key=key, payload=payload, size_hint=size_hint)
+            )
+        if sort_descending:
+            service.queue.sort_descending()
+
+        lock = threading.Lock()
+        records: list[TaskRecord] = []
+        csv_fh = open(stats_csv, "w", encoding="utf-8") if stats_csv else None
+        if csv_fh:
+            csv_fh.write("key,worker_id,start,end,ok,error\n")
+        t0 = time.perf_counter()
+
+        def run_worker(worker: WorkerInfo) -> None:
+            while True:
+                with lock:
+                    task = service.queue.pop()
+                if task is None:
+                    return
+                future = futures[task.key]
+                start = time.perf_counter() - t0
+                try:
+                    value = func(task.payload)
+                    future._result.append(value)
+                    ok, error = True, ""
+                except Exception as exc:  # noqa: BLE001 - per-task isolation
+                    error = f"{type(exc).__name__}: {exc}"
+                    future._error.append(error)
+                    ok = False
+                end = time.perf_counter() - t0
+                record = TaskRecord(
+                    key=task.key,
+                    worker_id=worker.worker_id,
+                    start=start,
+                    end=end,
+                    ok=ok,
+                    error=error,
+                )
+                with lock:
+                    records.append(record)
+                    if csv_fh:
+                        csv_fh.write(
+                            f"{record.key},{record.worker_id},"
+                            f"{record.start:.6f},{record.end:.6f},"
+                            f"{record.ok},{record.error}\n"
+                        )
+                future._event.set()
+
+        threads = [
+            threading.Thread(target=run_worker, args=(w,), daemon=True)
+            for w in service.workers
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if csv_fh:
+            csv_fh.close()
+        self.last_run = ExecutionResult(
+            records=sorted(records, key=lambda r: r.start),
+            results={
+                k: f._result[0] for k, f in futures.items() if f._result
+            },
+            walltime_seconds=time.perf_counter() - t0,
+        )
+        return list(futures.values())
+
+    @staticmethod
+    def gather(futures: list[Future]) -> list[Any]:
+        """Block until all futures resolve; raises on the first failure."""
+        return [f.result() for f in futures]

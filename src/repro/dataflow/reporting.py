@@ -1,0 +1,128 @@
+"""Workflow reporting: task CSVs, Gantt extraction, utilization stats.
+
+Reproduces the observability the paper built around its Dask runs: the
+per-task statistics CSV (§3.3 step 3e) and the worker-lane Gantt view of
+Fig. 2 — rendered here as data (and ASCII) rather than matplotlib, so
+benches can assert on it.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .scheduler import TaskRecord
+
+__all__ = [
+    "GanttLane",
+    "extract_gantt",
+    "render_ascii_gantt",
+    "load_task_csv",
+    "summarize_records",
+]
+
+
+@dataclass(frozen=True)
+class GanttLane:
+    """One worker's processing timeline (a row of Fig. 2)."""
+
+    short_id: str
+    intervals: tuple[tuple[float, float], ...]
+
+    @property
+    def busy_seconds(self) -> float:
+        return sum(e - s for s, e in self.intervals)
+
+    @property
+    def finish(self) -> float:
+        return self.intervals[-1][1] if self.intervals else 0.0
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.intervals)
+
+
+def extract_gantt(
+    records: list[TaskRecord], max_workers: int | None = None, rng=None
+) -> list[GanttLane]:
+    """Per-worker lanes; optionally a random sample (Fig. 2 shows 10 of 1200)."""
+    by_worker: dict[str, list[TaskRecord]] = {}
+    for r in records:
+        by_worker.setdefault(r.worker_id, []).append(r)
+    worker_ids = sorted(by_worker)
+    if max_workers is not None and len(worker_ids) > max_workers:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        worker_ids = sorted(
+            rng.choice(worker_ids, size=max_workers, replace=False).tolist()
+        )
+    lanes = []
+    for wid in worker_ids:
+        recs = sorted(by_worker[wid], key=lambda r: r.start)
+        lanes.append(
+            GanttLane(
+                short_id=wid[-6:],
+                intervals=tuple((r.start, r.end) for r in recs),
+            )
+        )
+    return lanes
+
+
+def render_ascii_gantt(lanes: list[GanttLane], width: int = 100) -> str:
+    """ASCII Fig. 2: '#' = processing, '.' = idle/overhead."""
+    if not lanes:
+        return "(no lanes)"
+    t_max = max(lane.finish for lane in lanes)
+    if t_max <= 0:
+        return "(empty timeline)"
+    out_lines = []
+    scale = width / t_max
+    for lane in lanes:
+        row = np.full(width, ".", dtype="<U1")
+        for s, e in lane.intervals:
+            a = int(s * scale)
+            b = max(a + 1, int(e * scale))
+            row[a : min(b, width)] = "#"
+        out_lines.append(f"{lane.short_id} |{''.join(row)}|")
+    return "\n".join(out_lines)
+
+
+def load_task_csv(path: str | Path) -> list[TaskRecord]:
+    """Read back a statistics CSV written by the executors."""
+    records = []
+    with open(path, newline="") as fh:
+        for row in csv.DictReader(fh):
+            records.append(
+                TaskRecord(
+                    key=row["key"],
+                    worker_id=row["worker_id"],
+                    start=float(row["start"]),
+                    end=float(row["end"]),
+                    ok=row["ok"] == "True",
+                    error=row.get("error", ""),
+                )
+            )
+    return records
+
+
+def summarize_records(records: list[TaskRecord]) -> dict[str, float]:
+    """Headline stats of a workflow run."""
+    if not records:
+        return {
+            "n_tasks": 0,
+            "n_failed": 0,
+            "makespan": 0.0,
+            "mean_duration": 0.0,
+            "p95_duration": 0.0,
+        }
+    durations = np.array([r.duration for r in records])
+    return {
+        "n_tasks": len(records),
+        "n_failed": sum(1 for r in records if not r.ok),
+        "makespan": float(max(r.end for r in records)),
+        "mean_duration": float(durations.mean()),
+        "p95_duration": float(np.percentile(durations, 95)),
+    }

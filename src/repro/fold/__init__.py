@@ -1,0 +1,71 @@
+"""Surrogate structure prediction: procedural natives + recycling model."""
+
+from .complexes import (
+    ComplexPrediction,
+    ComplexPredictor,
+    interface_contacts,
+    pair_interacts,
+)
+from .confidence import plddt_from_errors, ptms_estimate
+from .difficulty import irreducible_error, refinement_rate, target_difficulty
+from .generator import NativeFactory, smooth_chain_noise
+from .geometry import (
+    build_ca_chain,
+    compact_chain,
+    ss_segments,
+    target_radius_of_gyration,
+    torsions_for_segments,
+)
+from .memory import (
+    fits_standard_worker,
+    highmem_worker_memory_bytes,
+    inference_memory_bytes,
+    needs_highmem_node,
+    standard_worker_memory_bytes,
+)
+from .model import (
+    OutOfMemoryError,
+    Prediction,
+    PredictionConfig,
+    SurrogateFoldModel,
+    default_model_bank,
+)
+from .recycling import (
+    RecycleController,
+    adaptive_recycle_cap,
+    distogram_change,
+    distogram_signature,
+)
+
+__all__ = [
+    "ComplexPrediction",
+    "ComplexPredictor",
+    "interface_contacts",
+    "pair_interacts",
+    "plddt_from_errors",
+    "ptms_estimate",
+    "irreducible_error",
+    "refinement_rate",
+    "target_difficulty",
+    "NativeFactory",
+    "smooth_chain_noise",
+    "build_ca_chain",
+    "compact_chain",
+    "ss_segments",
+    "target_radius_of_gyration",
+    "torsions_for_segments",
+    "fits_standard_worker",
+    "highmem_worker_memory_bytes",
+    "inference_memory_bytes",
+    "needs_highmem_node",
+    "standard_worker_memory_bytes",
+    "OutOfMemoryError",
+    "Prediction",
+    "PredictionConfig",
+    "SurrogateFoldModel",
+    "default_model_bank",
+    "RecycleController",
+    "adaptive_recycle_cap",
+    "distogram_change",
+    "distogram_signature",
+]

@@ -1,0 +1,245 @@
+"""Protein-complex prediction (the AF2Complex extension, paper §5).
+
+The paper's optimizations were folded into AF2Complex, which
+generalises AlphaFold to predict protein-protein complexes and scores
+candidate interactions with an interface metric — opening the door to
+all-vs-all interactome screens whose cost grows quadratically in the
+proteome size (the paper's closing argument for HPC).
+
+The surrogate mirrors that design:
+
+* a hidden *interactome* over the family universe decides which pairs
+  truly interact (deterministic from the family pair);
+* interacting pairs have a hidden docked pose: chain B rigidly placed
+  against chain A with a real steric interface;
+* prediction folds both chains (reusing the monomer machinery, with
+  paired-MSA depth = the weaker chain's depth) and predicts the
+  inter-chain placement with an error that shrinks with paired depth —
+  non-interacting pairs get no pose signal and land apart or clashed;
+* an interface score (iScore-like) summarises predicted inter-chain
+  contact confidence; it separates true interactions from random pairs,
+  which is the property interactome screens rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..msa.features import FeatureBundle
+from ..sequences.generator import ProteinRecord, rng_for, stable_hash
+from ..structure.protein import Structure
+from .difficulty import target_difficulty
+from .generator import NativeFactory, smooth_chain_noise
+from .model import PredictionConfig, SurrogateFoldModel
+
+__all__ = [
+    "ComplexPrediction",
+    "pair_interacts",
+    "ComplexPredictor",
+    "interface_contacts",
+]
+
+#: Fraction of family pairs that truly interact.
+_INTERACTION_PROBABILITY: float = 0.12
+
+#: Inter-chain contact distance (Calpha-Calpha), Angstrom.
+_CONTACT_CUTOFF: float = 8.0
+
+
+def pair_interacts(record_a: ProteinRecord, record_b: ProteinRecord) -> bool:
+    """Hidden interactome: does this pair truly form a complex?
+
+    Deterministic and symmetric in the pair's family identities;
+    orphan chains never have known partners.
+    """
+    if record_a.family_id is None or record_b.family_id is None:
+        return False
+    lo, hi = sorted((record_a.family_id, record_b.family_id))
+    return (
+        stable_hash("interactome", lo, hi, modulus=10_000)
+        < _INTERACTION_PROBABILITY * 10_000
+    )
+
+
+def interface_contacts(
+    ca_a: np.ndarray, ca_b: np.ndarray, cutoff: float = _CONTACT_CUTOFF
+) -> int:
+    """Number of inter-chain Calpha contact pairs within ``cutoff``."""
+    if ca_a.shape[0] == 0 or ca_b.shape[0] == 0:
+        return 0
+    tree = cKDTree(ca_b)
+    counts = tree.query_ball_point(ca_a, cutoff, return_length=True)
+    return int(np.sum(counts))
+
+
+@dataclass(frozen=True)
+class ComplexPrediction:
+    """One predicted two-chain complex."""
+
+    structure: Structure  # concatenated chains
+    chain_break: int  # index of chain B's first residue
+    interface_score: float  # in [0, 1]; high = confident interface
+    n_interface_contacts: int
+    ptms_a: float
+    ptms_b: float
+    truly_interacting: bool  # hidden ground truth, for evaluation only
+
+    @property
+    def chain_a(self) -> np.ndarray:
+        return self.structure.ca[: self.chain_break]
+
+    @property
+    def chain_b(self) -> np.ndarray:
+        return self.structure.ca[self.chain_break :]
+
+
+class ComplexPredictor:
+    """Two-chain complex prediction on top of the monomer surrogate."""
+
+    def __init__(self, factory: NativeFactory, model_index: int = 2) -> None:
+        self.factory = factory
+        self.monomer = SurrogateFoldModel(factory, model_index)
+
+    # -- Hidden native pose ---------------------------------------------------
+    def native_pose(
+        self, record_a: ProteinRecord, record_b: ProteinRecord
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The hidden docked pose (ca_a, ca_b_docked) of a true pair.
+
+        Chain B is rotated by a pair-specific rotation and translated
+        along a pair-specific direction until the closest inter-chain
+        Calpha distance reaches ~4.5 Angstrom: a real steric interface.
+        """
+        nat_a = self.factory.native(record_a).ca
+        nat_b = self.factory.native(record_b).ca
+        rng = rng_for(0, "complex-pose", record_a.record_id, record_b.record_id)
+        axis = rng.normal(size=3)
+        axis /= np.linalg.norm(axis) + 1e-12
+        angle = float(rng.uniform(0, 2 * np.pi))
+        k = axis
+        c, s = np.cos(angle), np.sin(angle)
+        b_centered = nat_b - nat_b.mean(axis=0)
+        rotated = (
+            b_centered * c
+            + np.cross(k, b_centered) * s
+            + np.outer(b_centered @ k, k) * (1 - c)
+        )
+        direction = rng.normal(size=3)
+        direction /= np.linalg.norm(direction) + 1e-12
+        center_a = nat_a.mean(axis=0)
+        # March chain B inward along the approach axis until contact.
+        lo_t, hi_t = 0.0, 400.0
+        for _ in range(40):  # bisection on the closest-approach distance
+            mid = 0.5 * (lo_t + hi_t)
+            candidate = rotated + center_a + direction * mid
+            d_min = float(cKDTree(candidate).query(nat_a, k=1)[0].min())
+            if d_min < 4.5:
+                lo_t = mid
+            else:
+                hi_t = mid
+        docked = rotated + center_a + direction * hi_t
+        return nat_a, docked
+
+    # -- Prediction --------------------------------------------------------------
+    def predict(
+        self,
+        features_a: FeatureBundle,
+        features_b: FeatureBundle,
+        config: PredictionConfig | None = None,
+    ) -> ComplexPrediction:
+        """Predict the complex of two targets.
+
+        The paired-MSA signal is only as deep as the weaker chain
+        (AF2Complex pairs orthologs across species); placement error
+        shrinks with that paired depth for true pairs and stays large
+        for non-pairs.
+        """
+        cfg = config or PredictionConfig(
+            recycle_tolerance=0.5, max_recycles=20, adaptive_cap=True
+        )
+        record_a, record_b = features_a.record, features_b.record
+        pred_a = self.monomer.predict(features_a, cfg)
+        pred_b = self.monomer.predict(features_b, cfg)
+        interacting = pair_interacts(record_a, record_b)
+        rng = rng_for(
+            0, "complex-predict", record_a.record_id, record_b.record_id
+        )
+        paired_depth = min(features_a.effective_depth, features_b.effective_depth)
+        pair_difficulty = target_difficulty(
+            paired_depth, record_a.length + record_b.length
+        )
+        if interacting:
+            nat_a, docked_b = self.native_pose(record_a, record_b)
+            # Interface placement error: rotation about the interface
+            # center plus translation, shrinking with paired depth.
+            scale = 0.25 + 0.75 * pair_difficulty
+            center = 0.5 * (nat_a.mean(axis=0) + docked_b.mean(axis=0))
+            axis = rng.normal(size=3)
+            axis /= np.linalg.norm(axis) + 1e-12
+            angle = float(rng.normal(0.0, 0.5 * scale))
+            c, s = np.cos(angle), np.sin(angle)
+            v = docked_b - center
+            swung = (
+                v * c + np.cross(axis, v) * s + np.outer(v @ axis, axis) * (1 - c)
+            )
+            placed_b = (
+                swung
+                + center
+                + rng.normal(0.0, 2.0 * scale, size=3)
+            )
+        else:
+            # No pose signal: the model drifts chain B to a spurious,
+            # loosely packed placement (often barely touching).
+            nat_a = self.factory.native(record_a).ca
+            nat_b = self.factory.native(record_b).ca
+            direction = rng.normal(size=3)
+            direction /= np.linalg.norm(direction) + 1e-12
+            span = float(
+                np.ptp(nat_a, axis=0).max() + np.ptp(nat_b, axis=0).max()
+            )
+            placed_b = (
+                nat_b
+                - nat_b.mean(axis=0)
+                + nat_a.mean(axis=0)
+                + direction * (0.75 * span + rng.uniform(0, 15))
+            )
+        # Monomer-level error fields ride on top of the placement.
+        err_a = pred_a.structure.ca - self.factory.native(record_a).ca
+        err_b = pred_b.structure.ca - self.factory.native(record_b).ca
+        ca = np.vstack([nat_a + err_a, placed_b + err_b])
+        plddt = np.concatenate(
+            [np.asarray(pred_a.structure.plddt), np.asarray(pred_b.structure.plddt)]
+        )
+        chain_break = record_a.length
+        structure = Structure(
+            record_id=f"{record_a.record_id}+{record_b.record_id}",
+            encoded=np.concatenate([record_a.encoded, record_b.encoded]),
+            ca=ca,
+            plddt=plddt,
+            model_name=f"complex_{self.monomer.name}",
+        )
+        n_contacts = interface_contacts(ca[:chain_break], ca[chain_break:])
+        # iScore-like interface confidence: contact count saturates,
+        # weighted by interface residue confidence, plus estimation noise.
+        contact_term = n_contacts / (n_contacts + 12.0)
+        conf_term = float(plddt.mean()) / 100.0
+        score = float(
+            np.clip(
+                0.75 * contact_term * conf_term**0.5
+                + rng.normal(0.0, 0.03),
+                0.0,
+                1.0,
+            )
+        )
+        return ComplexPrediction(
+            structure=structure,
+            chain_break=chain_break,
+            interface_score=score,
+            n_interface_contacts=n_contacts,
+            ptms_a=pred_a.ptms,
+            ptms_b=pred_b.ptms,
+            truly_interacting=interacting,
+        )

@@ -1,0 +1,53 @@
+"""Confidence estimation: pLDDT and pTMS.
+
+AlphaFold's confidence heads are well calibrated but not perfect; the
+paper selects the top model per target by pTMS and reports quality
+distributions over pLDDT/pTMS thresholds (70 and 0.6).  The surrogate
+derives both scores from the model's true residual error with calibrated
+estimation noise, so confidence correlates strongly — but not exactly —
+with true quality, matching how the scores behave in practice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["plddt_from_errors", "ptms_estimate"]
+
+
+def plddt_from_errors(
+    per_residue_error: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-residue pLDDT in [0, 100] from coordinate errors (Angstrom).
+
+    The mapping is a saturating error->confidence curve anchored so that
+    ~0.4 Angstrom residues score ~92, the high-quality threshold of 70
+    falls near 1.6 Angstrom, and the curve compresses slowly into the
+    tail (badly wrong residues still score 15-35, as AlphaFold's do),
+    plus ~4-point estimation noise.
+    """
+    err = np.asarray(per_residue_error, dtype=np.float64)
+    if (err < 0).any():
+        raise ValueError("errors must be non-negative")
+    base = 100.0 / (1.0 + (err / 4.0) ** 1.15)
+    noisy = base + rng.normal(0.0, 4.0, size=err.shape)
+    return np.clip(noisy, 0.0, 100.0)
+
+
+#: pTMS reads systematically below the realised TM-score — AlphaFold's
+#: pTM head is well documented to be conservative.
+_PTMS_CALIBRATION: float = 0.88
+
+
+def ptms_estimate(true_tm: float, rng: np.random.Generator) -> float:
+    """Predicted TM-score: conservative estimate of the true TM-score.
+
+    Noise shrinks near the extremes (a confidently right or confidently
+    wrong model is easy to recognise), mirroring pTMS calibration plots.
+    """
+    if not 0.0 <= true_tm <= 1.0:
+        raise ValueError("true_tm must be in [0, 1]")
+    sigma = 0.015 + 0.09 * true_tm * (1.0 - true_tm)
+    return float(
+        np.clip(_PTMS_CALIBRATION * true_tm + rng.normal(0.0, sigma), 0.0, 1.0)
+    )

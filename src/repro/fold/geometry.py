@@ -1,0 +1,318 @@
+"""Calpha-trace geometry: internal-coordinate chain building and
+compaction into globular folds.
+
+The surrogate predictor needs *plausible* protein geometry — correct
+consecutive Calpha spacing (~3.8 Angstrom), secondary-structure-like
+local geometry, globular compactness, and no steric overlap — because
+every downstream metric the paper reports (clashes, bumps, TM-score,
+radius of gyration scaling) is a geometric property.
+
+Chains are built residue-by-residue with the NeRF (natural extension
+reference frame) construction from virtual Calpha bond angles and
+torsions, then relaxed into a compact globule by a short gradient
+descent on a coarse potential (bond springs + excluded volume +
+radius-of-gyration pull + local-geometry retention).  Excluded-volume
+pairs come from a KD-tree so the step cost stays near O(N log N).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+__all__ = [
+    "CA_BOND",
+    "SecondaryStructure",
+    "ss_segments",
+    "torsions_for_segments",
+    "build_ca_chain",
+    "target_radius_of_gyration",
+    "compact_chain",
+]
+
+#: Consecutive Calpha-Calpha distance, Angstrom.
+CA_BOND: float = 3.8
+
+#: Minimum non-bonded Calpha separation enforced during compaction.  Kept
+#: above the bump cutoff (3.6) so *natives* are violation-free; model
+#: errors are what introduce clashes/bumps, as in the real pipeline.
+_EXCLUDED_RADIUS: float = 4.1
+
+
+@dataclass(frozen=True)
+class SecondaryStructure:
+    """Virtual Calpha-trace geometry of one secondary-structure type."""
+
+    name: str
+    angle_deg: float
+    torsion_deg: float
+    angle_jitter: float
+    torsion_jitter: float
+
+
+#: Canonical Calpha virtual angles/torsions (Levitt-style coarse values).
+HELIX = SecondaryStructure("H", 91.0, 50.0, 3.0, 6.0)
+STRAND = SecondaryStructure("E", 124.0, -170.0, 6.0, 15.0)
+COIL = SecondaryStructure("C", 105.0, 0.0, 25.0, 180.0)
+
+_SS_BY_NAME = {"H": HELIX, "E": STRAND, "C": COIL}
+
+
+def ss_segments(
+    length: int, rng: np.random.Generator, helix_bias: float = 0.45
+) -> list[tuple[str, int]]:
+    """Partition ``length`` residues into H/E/C segments.
+
+    Segment types and lengths follow rough natural statistics: helices
+    ~12 residues, strands ~6, coils ~5, with coil linkers between
+    regular elements.  ``helix_bias`` sets the helix:strand ratio of the
+    fold class (all-alpha vs all-beta vs mixed folds).
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    segments: list[tuple[str, int]] = []
+    remaining = length
+    want_regular = True
+    while remaining > 0:
+        if want_regular:
+            if rng.random() < helix_bias:
+                seg_len = int(np.clip(rng.normal(12, 4), 5, 25))
+                kind = "H"
+            else:
+                seg_len = int(np.clip(rng.normal(6, 2), 3, 12))
+                kind = "E"
+        else:
+            seg_len = int(np.clip(rng.normal(5, 3), 1, 15))
+            kind = "C"
+        seg_len = min(seg_len, remaining)
+        segments.append((kind, seg_len))
+        remaining -= seg_len
+        want_regular = not want_regular
+    return segments
+
+
+def torsions_for_segments(
+    segments: list[tuple[str, int]], rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expand segments into per-residue (angles, torsions, ss_labels).
+
+    Angles/torsions are in radians; ``ss_labels`` is an int array with
+    0=H, 1=E, 2=C for downstream error modelling (coil regions are the
+    least confidently predicted).
+    """
+    label_code = {"H": 0, "E": 1, "C": 2}
+    angles: list[np.ndarray] = []
+    torsions: list[np.ndarray] = []
+    labels: list[np.ndarray] = []
+    for kind, seg_len in segments:
+        ss = _SS_BY_NAME[kind]
+        # Virtual Calpha angles in real chains stay within ~[75, 155]
+        # degrees; clipping keeps d(i, i+2) above the bump cutoff so
+        # natives are violation-free by construction.
+        angles.append(
+            np.deg2rad(
+                np.clip(
+                    rng.normal(ss.angle_deg, ss.angle_jitter, size=seg_len),
+                    72.0,
+                    155.0,
+                )
+            )
+        )
+        torsions.append(
+            np.deg2rad(rng.normal(ss.torsion_deg, ss.torsion_jitter, size=seg_len))
+        )
+        labels.append(np.full(seg_len, label_code[kind], dtype=np.int8))
+    return (
+        np.concatenate(angles),
+        np.concatenate(torsions),
+        np.concatenate(labels),
+    )
+
+
+def build_ca_chain(angles: np.ndarray, torsions: np.ndarray) -> np.ndarray:
+    """Build an (N, 3) Calpha trace from virtual internal coordinates.
+
+    ``angles[i]`` and ``torsions[i]`` position residue ``i`` relative to
+    its three predecessors (NeRF construction); the first three entries
+    are ignored beyond seeding the frame.
+    """
+    angles = np.asarray(angles, dtype=np.float64)
+    torsions = np.asarray(torsions, dtype=np.float64)
+    n = angles.size
+    if torsions.size != n:
+        raise ValueError("angles and torsions must have the same length")
+    coords = np.zeros((max(n, 1), 3), dtype=np.float64)
+    if n >= 2:
+        coords[1] = [CA_BOND, 0.0, 0.0]
+    if n >= 3:
+        theta = np.pi - angles[2]
+        coords[2] = coords[1] + CA_BOND * np.array(
+            [np.cos(theta), np.sin(theta), 0.0]
+        )
+    for i in range(3, n):
+        a, b, c = coords[i - 3], coords[i - 2], coords[i - 1]
+        bc = c - b
+        bc /= np.linalg.norm(bc)
+        ab = b - a
+        normal = np.cross(ab, bc)
+        nn = np.linalg.norm(normal)
+        if nn < 1e-9:  # collinear history; pick any perpendicular
+            normal = np.cross(bc, [0.0, 0.0, 1.0])
+            nn = np.linalg.norm(normal)
+            if nn < 1e-9:
+                normal = np.cross(bc, [0.0, 1.0, 0.0])
+                nn = np.linalg.norm(normal)
+        normal /= nn
+        m = np.cross(normal, bc)
+        ang = np.pi - angles[i]
+        tor = torsions[i]
+        d = CA_BOND * np.array(
+            [
+                np.cos(ang),
+                np.sin(ang) * np.cos(tor),
+                np.sin(ang) * np.sin(tor),
+            ]
+        )
+        coords[i] = c + d[0] * bc + d[1] * m + d[2] * normal
+    return coords[:n]
+
+
+def target_radius_of_gyration(n_residues: int) -> float:
+    """Empirical globular-protein radius of gyration, Angstrom.
+
+    The well-known scaling Rg ~ 2.2 * N^0.38 for folded monomers.
+    """
+    return 2.2 * float(n_residues) ** 0.38
+
+
+def compact_chain(
+    coords: np.ndarray,
+    rng: np.random.Generator,
+    n_steps: int | None = None,
+    step_size: float = 0.12,
+    rg_gain: float = 0.5,
+    local_window: int = 4,
+) -> np.ndarray:
+    """Relax a Calpha trace into a compact, clash-free globule.
+
+    Gradient descent on four coarse terms:
+
+    * bond springs holding consecutive Calpha at :data:`CA_BOND`,
+    * KD-tree excluded volume pushing non-bonded pairs past 4.1 Angstrom,
+    * a radius-of-gyration pull toward the globular target (only active
+      while the chain is too extended),
+    * retention springs on short-range (i, i+2..i+window) distances so
+      secondary-structure geometry survives compaction.
+
+    Returns a new array; the input is not modified.
+    """
+    x = np.array(coords, dtype=np.float64)
+    n = x.shape[0]
+    if n < 5:
+        return x
+    if n_steps is None:
+        # Longer chains start further from globularity; scale the budget.
+        n_steps = max(120, int(4.0 * n**0.62))
+    target_rg = target_radius_of_gyration(n)
+    idx = np.arange(n)
+    # Local-geometry reference distances (i, i+k) for k=2..local_window.
+    local_refs: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for k in range(2, local_window + 1):
+        i0 = idx[:-k]
+        j0 = idx[k:]
+        d0 = np.linalg.norm(x[j0] - x[i0], axis=1)
+        local_refs.append((i0, j0, d0))
+    for step in range(n_steps):
+        grad = np.zeros_like(x)
+        # Bond term.
+        delta = x[1:] - x[:-1]
+        dist = np.linalg.norm(delta, axis=1)
+        np.maximum(dist, 1e-9, out=dist)
+        coef = 2.0 * (dist - CA_BOND) / dist
+        f = coef[:, None] * delta
+        grad[1:] += f
+        grad[:-1] -= f
+        # Excluded volume via KD-tree.
+        tree = cKDTree(x)
+        pairs = tree.query_pairs(_EXCLUDED_RADIUS, output_type="ndarray")
+        if pairs.size:
+            nonadj = (pairs[:, 1] - pairs[:, 0]) > 2
+            pairs = pairs[nonadj]
+        if pairs.size:
+            pi, pj = pairs[:, 0], pairs[:, 1]
+            dvec = x[pj] - x[pi]
+            d = np.linalg.norm(dvec, axis=1)
+            np.maximum(d, 1e-9, out=d)
+            # Quadratic wall: push apart with force ~ overlap.
+            c = -2.0 * 4.0 * (_EXCLUDED_RADIUS - d) / d
+            fv = c[:, None] * dvec
+            np.add.at(grad, pi, -fv)
+            np.add.at(grad, pj, fv)
+        # Radius-of-gyration pull (compaction), only when too extended.
+        # Exact gradient of k*(Rg - T)^2 with k chosen so each step moves
+        # atoms inward by a fixed fraction of their centered radius —
+        # without the n-scaling, long chains would never collapse.
+        # The pull is released in the final quarter so excluded-volume
+        # overlaps created during collapse can anneal out (natives must
+        # be violation-free; model *errors* are what add clashes).
+        center = x.mean(axis=0)
+        centered = x - center
+        rg = np.sqrt((centered**2).sum(axis=1).mean())
+        if rg > target_rg and step < 3 * n_steps // 4:
+            grad += rg_gain * (rg - target_rg) / rg**2 * centered
+        # Local geometry retention: dE/dx_j = 2k(d - d0) * (x_j - x_i)/d.
+        for i0, j0, d0 in local_refs:
+            dvec = x[j0] - x[i0]
+            d = np.linalg.norm(dvec, axis=1)
+            np.maximum(d, 1e-9, out=d)
+            c = 2.0 * 0.3 * (d - d0) / d
+            fv = c[:, None] * dvec
+            np.add.at(grad, j0, fv)
+            np.add.at(grad, i0, -fv)
+        # Gradient step with a norm clip for stability.
+        gnorm = np.linalg.norm(grad, axis=1, keepdims=True)
+        np.clip(gnorm, 1.0, None, out=gnorm)
+        x -= step_size * grad / gnorm * np.minimum(gnorm, 5.0)
+        # Tiny annealed jitter helps escape knots early on.
+        if step < n_steps // 3:
+            x += rng.normal(0.0, 0.02, size=x.shape)
+    return resolve_overlaps(x)
+
+
+def resolve_overlaps(
+    coords: np.ndarray,
+    min_distance: float = 3.75,
+    max_sweeps: int = 200,
+) -> np.ndarray:
+    """Deterministically push residual non-bonded overlaps apart.
+
+    Gradient descent occasionally leaves a few threaded contacts below
+    the bump cutoff; this projection pass separates every non-adjacent
+    pair (|i - j| > 2) to at least ``min_distance`` by symmetric
+    displacement along the pair axis, sweeping until clean.  Natives
+    must be violation-free by construction — model *error* is the only
+    source of clashes/bumps in the pipeline, as in the paper.
+    """
+    x = np.array(coords, dtype=np.float64)
+    n = x.shape[0]
+    if n < 4:
+        return x
+    for _ in range(max_sweeps):
+        tree = cKDTree(x)
+        pairs = tree.query_pairs(min_distance - 1e-9, output_type="ndarray")
+        if pairs.size:
+            pairs = pairs[(pairs[:, 1] - pairs[:, 0]) > 2]
+        if pairs.size == 0:
+            break
+        for i, j in pairs:
+            dvec = x[j] - x[i]
+            d = np.linalg.norm(dvec)
+            if d < 1e-9:
+                dvec = np.array([1.0, 0.0, 0.0])
+                d = 1.0
+            push = 0.5 * (min_distance - d) * 1.05 / d
+            x[i] -= push * dvec
+            x[j] += push * dvec
+    return x

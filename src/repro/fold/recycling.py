@@ -1,0 +1,92 @@
+"""Recycle control: distogram convergence and adaptive recycle caps.
+
+Implements the ColabFold-style early stopping the paper adopted
+(§3.2.2): after each recycle, compare the model's residue-contact
+distogram with the previous recycle's; stop when the mean change drops
+below the preset's tolerance.  The recycle cap is 20 but tapers toward 6
+as sequence length grows past 500 AA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import (
+    MAX_RECYCLES,
+    MIN_RECYCLES_LONG_SEQUENCE,
+    RECYCLE_TAPER_START_LENGTH,
+)
+
+__all__ = ["distogram_signature", "distogram_change", "adaptive_recycle_cap", "RecycleController"]
+
+#: Longest sequences get their distogram subsampled to this many rows so
+#: the convergence check stays O(400^2) regardless of chain length.
+_MAX_DISTOGRAM_DIM: int = 400
+
+
+def distogram_signature(ca: np.ndarray) -> np.ndarray:
+    """Pairwise-distance signature used for the convergence check.
+
+    The real implementation compares predicted distance *distributions*;
+    the mean absolute change of the pairwise distance matrix is the same
+    convergence signal at Calpha resolution.  Chains longer than 400
+    residues are subsampled with a uniform stride.
+    """
+    arr = np.asarray(ca, dtype=np.float64)
+    n = arr.shape[0]
+    if n > _MAX_DISTOGRAM_DIM:
+        stride = int(np.ceil(n / _MAX_DISTOGRAM_DIM))
+        arr = arr[::stride]
+    diff = arr[:, None, :] - arr[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def distogram_change(previous: np.ndarray, current: np.ndarray) -> float:
+    """Mean absolute distance change between consecutive recycles."""
+    if previous.shape != current.shape:
+        raise ValueError("distogram shapes differ between recycles")
+    return float(np.abs(current - previous).mean())
+
+
+def adaptive_recycle_cap(
+    length: int,
+    max_recycles: int = MAX_RECYCLES,
+    min_recycles: int = MIN_RECYCLES_LONG_SEQUENCE,
+    taper_start: int = RECYCLE_TAPER_START_LENGTH,
+    taper_end: int = 2500,
+) -> int:
+    """Recycle cap, reduced progressively for long sequences (§3.2.2)."""
+    if length <= taper_start:
+        return max_recycles
+    frac = min(1.0, (length - taper_start) / (taper_end - taper_start))
+    return int(round(max_recycles - frac * (max_recycles - min_recycles)))
+
+
+@dataclass
+class RecycleController:
+    """Stateful convergence monitor for one prediction.
+
+    ``tolerance=None`` reproduces the official presets: run exactly
+    ``cap`` recycles with no early stop.
+    """
+
+    tolerance: float | None
+    cap: int
+    n_recycles: int = 0
+    last_change: float = float("inf")
+    _previous: np.ndarray | None = None
+
+    def update(self, ca: np.ndarray) -> bool:
+        """Record one finished recycle; True if recycling should stop."""
+        self.n_recycles += 1
+        sig = distogram_signature(ca)
+        if self._previous is not None:
+            self.last_change = distogram_change(self._previous, sig)
+        self._previous = sig
+        if self.n_recycles >= self.cap:
+            return True
+        if self.tolerance is None:
+            return False
+        return self.n_recycles >= 2 and self.last_change < self.tolerance

@@ -1,0 +1,12 @@
+"""Parallel-filesystem contention and library-replication models."""
+
+from .filesystem import FilesystemSpec, contention_factor
+from .replication import ReplicationPlan, dcp_copy_seconds, paper_plan
+
+__all__ = [
+    "FilesystemSpec",
+    "contention_factor",
+    "ReplicationPlan",
+    "dcp_copy_seconds",
+    "paper_plan",
+]

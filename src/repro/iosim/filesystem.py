@@ -1,0 +1,77 @@
+"""Parallel filesystem contention model.
+
+§3.2.1: HHblits-style searches issue *many small file reads*, which
+bottleneck on the shared filesystem's metadata servers and on the disks
+holding the library; the paper's mitigation is 24 identical copies of
+the reduced library with 4 concurrent search jobs per copy.
+
+The model has two contention sources:
+
+* **per-replica bandwidth** — each library copy serves up to
+  ``jobs_at_full_speed`` concurrent searches without slowdown; beyond
+  that, service degrades linearly (disk seek-bound small reads do not
+  overlap well);
+* **metadata service** — a single shared metadata server handles the
+  open/stat traffic of *all* jobs; demand beyond its service rate slows
+  every search proportionally.
+
+Both combine multiplicatively into the ``io_contention`` factor consumed
+by :func:`repro.cluster.costmodel.feature_task_seconds`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FilesystemSpec", "contention_factor"]
+
+
+@dataclass(frozen=True)
+class FilesystemSpec:
+    """A shared parallel filesystem (Alpine/GPFS-like).
+
+    ``metadata_ops_per_second`` is the aggregate small-op service rate;
+    ``jobs_at_full_speed_per_replica`` is how many concurrent searches
+    one on-disk library copy sustains before seek contention bites
+    (the paper settled on 4).
+    """
+
+    name: str = "alpine"
+    metadata_ops_per_second: float = 40_000.0
+    jobs_at_full_speed_per_replica: int = 4
+    replica_bandwidth_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.metadata_ops_per_second <= 0:
+            raise ValueError("metadata_ops_per_second must be positive")
+        if self.jobs_at_full_speed_per_replica < 1:
+            raise ValueError("jobs_at_full_speed_per_replica must be >= 1")
+
+
+#: Metadata ops one search issues per second at full speed (HHblits
+#: touches its database shards repeatedly; order hundreds of opens/s).
+_META_OPS_PER_JOB_PER_SECOND: float = 300.0
+
+
+def contention_factor(
+    n_jobs: int,
+    n_replicas: int,
+    fs: FilesystemSpec | None = None,
+) -> float:
+    """I/O slowdown factor (>= 1) for ``n_jobs`` searches on ``n_replicas``.
+
+    Jobs are spread evenly across replicas (the paper pinned 4 per
+    copy); the factor multiplies the I/O-bound share of search runtime.
+    """
+    if n_jobs < 1 or n_replicas < 1:
+        raise ValueError("n_jobs and n_replicas must be >= 1")
+    spec = fs or FilesystemSpec()
+    jobs_per_replica = n_jobs / n_replicas
+    replica_factor = max(
+        1.0,
+        (jobs_per_replica / spec.jobs_at_full_speed_per_replica)
+        ** spec.replica_bandwidth_exponent,
+    )
+    metadata_demand = n_jobs * _META_OPS_PER_JOB_PER_SECOND
+    metadata_factor = max(1.0, metadata_demand / spec.metadata_ops_per_second)
+    return replica_factor * metadata_factor

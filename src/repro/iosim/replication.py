@@ -1,0 +1,82 @@
+"""Library replication planning (mpiFileUtils-style parallel copy).
+
+§3.2.1: the sequence libraries cannot live in node memory or burst
+buffers across jobs, so the paper placed 24 identical copies of the
+reduced (420 GB) dataset on the parallel filesystem with dcp/mpiFileUtils
+and ran 4 search jobs against each copy.  This module sizes such plans:
+copy time, storage footprint, and the end-to-end feature-generation
+throughput for a given (replicas, concurrent jobs) choice — the numbers
+behind the bench that shows why 24x4 was the right call and why the
+full 2.1 TB dataset was impractical to replicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import (
+    JOBS_PER_LIBRARY_REPLICA,
+    LIBRARY_REPLICA_COUNT,
+)
+from .filesystem import FilesystemSpec, contention_factor
+
+__all__ = ["ReplicationPlan", "dcp_copy_seconds", "paper_plan"]
+
+#: Sustained per-node copy bandwidth of a dcp run (bytes/s).  Parallel
+#: filesystem copies stream well; ~1 GB/s/node is the right order.
+_DCP_NODE_BANDWIDTH: float = 1.0e9
+
+#: Aggregate filesystem write bandwidth cap shared by all copy streams.
+_FS_WRITE_BANDWIDTH_CAP: float = 24.0e9
+
+
+def dcp_copy_seconds(dataset_bytes: int, n_nodes: int) -> float:
+    """Wall time of one parallel dataset copy with ``n_nodes`` movers."""
+    if dataset_bytes < 0 or n_nodes < 1:
+        raise ValueError("bad dataset size or node count")
+    bandwidth = min(n_nodes * _DCP_NODE_BANDWIDTH, _FS_WRITE_BANDWIDTH_CAP)
+    return dataset_bytes / bandwidth
+
+
+@dataclass(frozen=True)
+class ReplicationPlan:
+    """A replica layout for the feature-generation campaign."""
+
+    dataset_bytes: int
+    n_replicas: int
+    jobs_per_replica: int
+    copy_nodes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.n_replicas < 1 or self.jobs_per_replica < 1:
+            raise ValueError("replicas and jobs_per_replica must be >= 1")
+
+    @property
+    def n_concurrent_jobs(self) -> int:
+        return self.n_replicas * self.jobs_per_replica
+
+    @property
+    def storage_bytes(self) -> int:
+        return self.dataset_bytes * self.n_replicas
+
+    def replication_seconds(self) -> float:
+        """Time to stage all replicas (copies run one after another per
+        mover group; aggregate bandwidth caps parallel copies anyway)."""
+        return self.n_replicas * dcp_copy_seconds(
+            self.dataset_bytes, self.copy_nodes
+        )
+
+    def contention(self, fs: FilesystemSpec | None = None) -> float:
+        """I/O slowdown each search job sees under this plan."""
+        return contention_factor(
+            self.n_concurrent_jobs, self.n_replicas, fs=fs
+        )
+
+
+def paper_plan(dataset_bytes: int) -> ReplicationPlan:
+    """The paper's 24-replica, 4-jobs-per-copy layout."""
+    return ReplicationPlan(
+        dataset_bytes=dataset_bytes,
+        n_replicas=LIBRARY_REPLICA_COUNT,
+        jobs_per_replica=JOBS_PER_LIBRARY_REPLICA,
+    )

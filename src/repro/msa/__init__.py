@@ -1,0 +1,33 @@
+"""MSA substrate: k-mer homology search, alignment, libraries, features."""
+
+from .align import SequenceAlignment, global_align, pairwise_identity
+from .databases import (
+    LibraryEntry,
+    LibrarySuite,
+    SequenceLibrary,
+    build_library,
+    build_suite,
+)
+from .features import FeatureBundle, FeatureGenConfig, generate_features
+from .kmer import KmerIndex, kmer_codes
+from .search import Hit, SearchResult, search_library, search_suite
+
+__all__ = [
+    "SequenceAlignment",
+    "global_align",
+    "pairwise_identity",
+    "LibraryEntry",
+    "LibrarySuite",
+    "SequenceLibrary",
+    "build_library",
+    "build_suite",
+    "FeatureBundle",
+    "FeatureGenConfig",
+    "generate_features",
+    "KmerIndex",
+    "kmer_codes",
+    "Hit",
+    "SearchResult",
+    "search_library",
+    "search_suite",
+]

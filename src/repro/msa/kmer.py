@@ -1,0 +1,121 @@
+"""K-mer indexing for fast homology prefiltering.
+
+The real pipeline's sequence search (HMMER/HHblits) is profile-based;
+what matters for the reproduction is the *selectivity structure*: a
+query must retrieve its family members from a large library quickly and
+with an identity-correlated score.  A k-mer inverted index gives exactly
+that with fully vectorized k-mer extraction.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..sequences.alphabet import ALPHABET_SIZE
+
+__all__ = ["kmer_codes", "KmerIndex"]
+
+#: Default k-mer length.  20^5 = 3.2M possible 5-mers: the shared-k-mer
+#: *containment* of unrelated sequences is then ~1e-4 while homologs at
+#: 35% identity retain ~0.5% of k-mers — enough dynamic range to invert
+#: containment into an identity estimate (see ``repro.msa.search``).
+DEFAULT_K: int = 5
+
+
+def kmer_codes(encoded: np.ndarray, k: int = DEFAULT_K) -> np.ndarray:
+    """Integer codes of all overlapping k-mers of an encoded sequence.
+
+    Codes are base-``ALPHABET_SIZE`` numbers; the output has length
+    ``len(seq) - k + 1`` (empty for shorter sequences).
+    """
+    arr = np.asarray(encoded, dtype=np.int64)
+    n = arr.size
+    if n < k:
+        return np.empty(0, dtype=np.int64)
+    weights = ALPHABET_SIZE ** np.arange(k, dtype=np.int64)
+    # Sliding windows via stride trick avoided for clarity: a k-term sum
+    # is cheap because k is tiny.
+    codes = np.zeros(n - k + 1, dtype=np.int64)
+    for offset in range(k):
+        codes += arr[offset : offset + n - k + 1] * weights[offset]
+    return codes
+
+
+class KmerIndex:
+    """Inverted index: k-mer code -> array of sequence ids containing it.
+
+    Build once per library; query with :meth:`count_hits`, which returns
+    the number of *distinct shared k-mer types* per library sequence — a
+    robust proxy for alignment score that is monotone in sequence
+    identity for fixed lengths.
+    """
+
+    def __init__(self, k: int = DEFAULT_K) -> None:
+        self.k = k
+        self._postings: dict[int, list[int]] = defaultdict(list)
+        self._kmer_counts: list[int] = []
+        self._frozen: dict[int, np.ndarray] | None = None
+
+    def add(self, seq_id: int, encoded: np.ndarray) -> None:
+        """Index one sequence under integer id ``seq_id``."""
+        if self._frozen is not None:
+            raise RuntimeError("index is frozen; cannot add more sequences")
+        if seq_id != len(self._kmer_counts):
+            raise ValueError("sequences must be added with consecutive ids")
+        codes = np.unique(kmer_codes(encoded, self.k))
+        for code in codes.tolist():
+            self._postings[code].append(seq_id)
+        self._kmer_counts.append(int(codes.size))
+
+    def freeze(self) -> None:
+        """Convert postings to arrays; no further additions allowed."""
+        if self._frozen is None:
+            self._frozen = {
+                code: np.asarray(ids, dtype=np.int64)
+                for code, ids in self._postings.items()
+            }
+            self._postings.clear()
+
+    @property
+    def n_sequences(self) -> int:
+        return len(self._kmer_counts)
+
+    def kmer_count(self, seq_id: int) -> int:
+        """Distinct k-mer types of an indexed sequence."""
+        return self._kmer_counts[seq_id]
+
+    def count_hits(self, encoded: np.ndarray) -> np.ndarray:
+        """Distinct shared k-mer types between query and every sequence.
+
+        Returns an int64 array of length :attr:`n_sequences`.
+        """
+        self.freeze()
+        assert self._frozen is not None
+        counts = np.zeros(self.n_sequences, dtype=np.int64)
+        for code in np.unique(kmer_codes(encoded, self.k)).tolist():
+            ids = self._frozen.get(code)
+            if ids is not None:
+                counts[ids] += 1
+        return counts
+
+    def jaccard(self, encoded: np.ndarray) -> np.ndarray:
+        """K-mer Jaccard similarity of the query against every sequence."""
+        query_kmers = int(np.unique(kmer_codes(encoded, self.k)).size)
+        hits = self.count_hits(encoded)
+        union = query_kmers + np.asarray(self._kmer_counts, dtype=np.float64) - hits
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sim = np.where(union > 0, hits / union, 0.0)
+        return sim
+
+    def containment(self, encoded: np.ndarray) -> np.ndarray:
+        """Shared k-mer types / query k-mer types, per library sequence.
+
+        Under independent substitutions at identity ``p``, a k-mer
+        survives in a homolog with probability ~``p**k``, so containment
+        inverts cleanly to an identity estimate; unlike Jaccard it is not
+        diluted by the library sequence being longer than the query.
+        """
+        query_kmers = max(1, int(np.unique(kmer_codes(encoded, self.k)).size))
+        return self.count_hits(encoded) / float(query_kmers)

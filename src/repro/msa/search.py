@@ -1,0 +1,188 @@
+"""Homology search: k-mer prefilter + alignment verification.
+
+The reproduction's stand-in for ``jackhmmer``/``hhblits``.  A query is
+screened against each library's k-mer index; candidates above a hit
+threshold are optionally verified with a full global alignment.  The
+result is an MSA-like hit list whose *depth* drives target difficulty in
+the surrogate predictor, exactly as real MSA depth drives AlphaFold
+accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sequences.generator import ProteinRecord
+from .align import global_align
+from .databases import LibraryEntry, LibrarySuite, SequenceLibrary
+from .kmer import kmer_codes
+
+__all__ = ["Hit", "SearchResult", "search_library", "search_suite"]
+
+
+@dataclass(frozen=True)
+class Hit:
+    """One library hit for a query."""
+
+    entry: LibraryEntry
+    library: str
+    kmer_similarity: float
+    identity: float  # alignment identity (estimated or exact)
+    verified: bool  # True when identity came from a real alignment
+
+
+@dataclass
+class SearchResult:
+    """All hits for one query across a library suite.
+
+    ``n_file_reads`` and ``bytes_scanned`` summarise the I/O the search
+    *would* have issued against the real on-disk libraries; the iosim
+    layer consumes them.
+    """
+
+    query_id: str
+    hits: list[Hit] = field(default_factory=list)
+    n_file_reads: int = 0
+    bytes_scanned: int = 0
+
+    @property
+    def msa_depth(self) -> int:
+        """Number of hits — the MSA row count (excluding the query)."""
+        return len(self.hits)
+
+    def effective_depth(self, identity_floor: float = 0.25) -> float:
+        """Redundancy-corrected MSA depth (Neff-like).
+
+        Hits are first collapsed to one representative per duplicate
+        cluster — near-identical copies carry no extra information, the
+        standard Neff redundancy correction — then each cluster
+        contributes ``1 - identity`` relative information, floored so a
+        deep family still counts.  Because clusters (not raw entries)
+        are what count, this quantity is invariant under the BFD
+        deduplication — the mechanism behind the paper's "reduced
+        dataset is sufficient" finding (§4.1).
+        """
+        if not self.hits:
+            return 0.0
+        best_per_cluster: dict[tuple[str, str], float] = {}
+        for h in self.hits:
+            if h.identity < 0.2:  # non-homologous noise adds nothing
+                continue
+            key = (h.library, h.entry.cluster_id or h.entry.entry_id)
+            best_per_cluster[key] = max(
+                best_per_cluster.get(key, 0.0), h.identity
+            )
+        if not best_per_cluster:
+            return 0.0
+        weights = [
+            max(identity_floor, 1.0 - identity)
+            for identity in best_per_cluster.values()
+        ]
+        return float(np.sum(weights) / (1.0 - identity_floor))
+
+    def template_hits(self, min_identity: float = 0.3) -> list[Hit]:
+        """Hits usable as structural templates (from the PDB library)."""
+        return [
+            h
+            for h in self.hits
+            if h.library == "pdb_seqres" and h.identity >= min_identity
+        ]
+
+
+def _identity_from_containment(containment: float, k: int = 5) -> float:
+    """Estimate alignment identity from k-mer containment.
+
+    Under independent substitutions at identity ``p``, a query k-mer
+    survives in the homolog with probability ~``p**k``; inverting gives
+    a cheap identity estimate good enough for depth accounting.  Noise
+    containment (~1e-4 for unrelated sequences at k=5) maps to ~0.16,
+    safely below the homology floor used downstream.
+    """
+    if containment <= 0.0:
+        return 0.0
+    return float(min(1.0, containment ** (1.0 / k)))
+
+
+def search_library(
+    query: np.ndarray,
+    library: SequenceLibrary,
+    min_containment: float = 0.002,
+    max_hits: int = 256,
+    verify_top: int = 4,
+    verify_max_length: int = 600,
+) -> tuple[list[Hit], int]:
+    """Search one library; returns (hits, candidate_count_scanned).
+
+    ``verify_top`` best candidates get an exact global alignment (capped
+    at ``verify_max_length`` residues — longer pairs keep the k-mer
+    estimate, which is where the estimate is most accurate anyway); the
+    rest carry the containment identity estimate.  Hits are sorted by
+    identity descending.
+    """
+    if len(library) == 0:
+        return [], 0
+    n_query_kmers = max(1, int(np.unique(kmer_codes(query, library.index.k)).size))
+    counts = library.index.count_hits(query)
+    sims = counts / float(n_query_kmers)
+    # Require at least 3 shared k-mer types: one or two can be shared by
+    # chance between unrelated sequences (expected ~0.03 per pair), and
+    # for short queries a single accident would clear any ratio cutoff.
+    candidates = np.flatnonzero((sims >= min_containment) & (counts >= 3))
+    if candidates.size == 0:
+        return [], 0
+    order = candidates[np.argsort(sims[candidates])[::-1]][:max_hits]
+    hits: list[Hit] = []
+    for rank, idx in enumerate(order.tolist()):
+        entry = library.entries[idx]
+        cont = float(sims[idx])
+        if rank < verify_top and query.size <= verify_max_length:
+            identity = global_align(query, entry.encoded).identity
+            verified = True
+        else:
+            identity = _identity_from_containment(cont, k=library.index.k)
+            verified = False
+        hits.append(
+            Hit(
+                entry=entry,
+                library=library.name.removesuffix("_reduced"),
+                kmer_similarity=cont,
+                identity=identity,
+                verified=verified,
+            )
+        )
+    hits.sort(key=lambda h: h.identity, reverse=True)
+    return hits, int(candidates.size)
+
+
+def search_suite(
+    record: ProteinRecord,
+    suite: LibrarySuite,
+    min_containment: float = 0.002,
+    max_hits_per_library: int = 128,
+    verify_top: int = 4,
+) -> SearchResult:
+    """Search a query record against all four libraries."""
+    if record.length < 6:
+        raise ValueError("query too short for k-mer search")
+    result = SearchResult(query_id=record.record_id)
+    n_query_kmers = max(1, np.unique(kmer_codes(record.encoded)).size)
+    for library in suite.libraries:
+        hits, scanned = search_library(
+            record.encoded,
+            library,
+            min_containment=min_containment,
+            max_hits=max_hits_per_library,
+            verify_top=verify_top,
+        )
+        result.hits.extend(hits)
+        # I/O model: every search touches the library's file set once,
+        # plus one postings read per query k-mer (HHblits-style).
+        result.n_file_reads += library.files_per_search + n_query_kmers // 16
+        # Bytes scanned scale with the represented (not in-memory) size:
+        # a prefilter pass touches ~2% of the library.
+        result.bytes_scanned += int(0.02 * library.modeled_bytes)
+        del scanned  # candidate count folded into the byte model above
+    result.hits.sort(key=lambda h: h.identity, reverse=True)
+    return result

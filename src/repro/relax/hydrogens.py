@@ -1,0 +1,94 @@
+"""Molecular-mechanics system preparation ("add hydrogens").
+
+The paper's relaxation protocol (§3.2.3) assigns force-field parameters
+and adds hydrogen atoms before minimising.  At the reproduction's
+Calpha+CB resolution the *interacting particles* are the Calpha trace
+and one pseudo-side-chain center per residue; hydrogens and the full
+heavy-atom census are carried as bookkeeping because they size the
+system for the cost model (Fig. 4 plots runtime against heavy atoms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sequences.alphabet import heavy_atom_count, hydrogen_count
+from ..structure.protein import Structure, pseudo_cb
+
+__all__ = ["MMSystem", "prepare_system"]
+
+
+@dataclass
+class MMSystem:
+    """A prepared minimisation system.
+
+    ``particles`` stacks Calpha coordinates (first N rows) and pseudo-CB
+    coordinates (next N rows).  ``reference`` holds the restraint anchor
+    positions — the unrelaxed input coordinates, per AlphaFold's
+    protocol of restraining all non-hydrogen atoms to their predicted
+    positions.
+    """
+
+    structure: Structure
+    particles: np.ndarray = field(repr=False)
+    reference: np.ndarray = field(repr=False)
+    n_residues: int
+    n_heavy_atoms: int
+    n_hydrogens: int
+
+    @property
+    def ca(self) -> np.ndarray:
+        return self.particles[: self.n_residues]
+
+    @property
+    def cb(self) -> np.ndarray:
+        return self.particles[self.n_residues :]
+
+    def with_particles(self, particles: np.ndarray) -> "MMSystem":
+        return MMSystem(
+            structure=self.structure,
+            particles=np.asarray(particles, dtype=np.float64),
+            reference=self.reference,
+            n_residues=self.n_residues,
+            n_heavy_atoms=self.n_heavy_atoms,
+            n_hydrogens=self.n_hydrogens,
+        )
+
+    def to_structure(self, model_name: str | None = None) -> Structure:
+        """Extract the relaxed structure (Calpha trace + original pLDDT)."""
+        return self.structure.with_coordinates(
+            self.ca.copy(),
+            model_name=model_name
+            if model_name is not None
+            else self.structure.model_name,
+        )
+
+
+def prepare_system(
+    structure: Structure,
+    cb_noise_sigma: float = 0.25,
+    rng: np.random.Generator | None = None,
+) -> MMSystem:
+    """Assign particles, add hydrogens, and anchor restraints.
+
+    ``cb_noise_sigma`` models the predictor's side-chain placement error
+    on top of the backbone: the minimiser's geometry terms then pull CB
+    back toward ideal placement, which is the mechanism behind the small
+    SPECS-score gains after relaxation (paper Fig. 3, right panel).
+    """
+    ca = np.asarray(structure.ca, dtype=np.float64)
+    cb = pseudo_cb(ca)
+    if cb_noise_sigma > 0:
+        noise_rng = rng if rng is not None else np.random.default_rng(0)
+        cb = cb + noise_rng.normal(0.0, cb_noise_sigma, size=cb.shape)
+    particles = np.vstack([ca, cb])
+    return MMSystem(
+        structure=structure,
+        particles=particles,
+        reference=particles.copy(),
+        n_residues=len(structure),
+        n_heavy_atoms=heavy_atom_count(structure.encoded),
+        n_hydrogens=hydrogen_count(structure.encoded),
+    )

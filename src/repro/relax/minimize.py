@@ -1,0 +1,93 @@
+"""Restrained energy minimisation.
+
+One "energy minimisation calculation" in the paper's sense: L-BFGS on
+the force-field energy with an unlimited step budget, run until the
+energy difference between successive rounds falls below the paper's
+convergence criterion of 2.39 kcal/mol.  The non-bonded neighbour list
+is rebuilt between rounds (a standard neighbour-list scheme), so each
+round is smooth for the optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import minimize as scipy_minimize
+
+from ..constants import RELAX_ENERGY_TOLERANCE_KCAL
+from .forcefield import ForceField, ForceFieldParams
+from .hydrogens import MMSystem
+
+__all__ = ["MinimizationResult", "minimize_system"]
+
+
+@dataclass(frozen=True)
+class MinimizationResult:
+    """Outcome of one energy minimisation calculation."""
+
+    system: MMSystem
+    initial_energy: float
+    final_energy: float
+    n_steps: int  # optimizer iterations across all rounds
+    n_rounds: int  # neighbour-list rebuild rounds
+    converged: bool
+
+    @property
+    def energy_drop(self) -> float:
+        return self.initial_energy - self.final_energy
+
+
+def minimize_system(
+    system: MMSystem,
+    params: ForceFieldParams | None = None,
+    energy_tolerance: float = RELAX_ENERGY_TOLERANCE_KCAL,
+    max_rounds: int = 30,
+    max_steps_per_round: int = 400,
+) -> MinimizationResult:
+    """Minimise a prepared system to the paper's convergence criterion.
+
+    Rounds of L-BFGS with a frozen neighbour list run until the energy
+    improvement of a full round drops below ``energy_tolerance``
+    (2.39 kcal/mol), mirroring the unlimited-steps single-minimisation
+    protocol of §3.2.3.
+    """
+    ff = ForceField(system, params)
+    x = system.particles.copy()
+    shape = x.shape
+    initial_energy = ff.energy(x)
+    prev_energy = initial_energy
+    total_steps = 0
+    converged = False
+    n_rounds = 0
+    for _ in range(max_rounds):
+        n_rounds += 1
+        ff.rebuild_neighbors(x)
+
+        def fun(flat: np.ndarray) -> tuple[float, np.ndarray]:
+            e, g = ff.energy_and_gradient(flat.reshape(shape))
+            return e, g.ravel()
+
+        res = scipy_minimize(
+            fun,
+            x.ravel(),
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": max_steps_per_round, "ftol": 1e-10, "gtol": 1e-8},
+        )
+        x = res.x.reshape(shape)
+        total_steps += int(res.nit)
+        energy = float(res.fun)
+        if prev_energy - energy < energy_tolerance:
+            converged = True
+            prev_energy = min(prev_energy, energy)
+            break
+        prev_energy = energy
+    return MinimizationResult(
+        system=system.with_particles(x),
+        initial_energy=float(initial_energy),
+        final_energy=float(prev_energy),
+        n_steps=total_steps,
+        n_rounds=n_rounds,
+        converged=converged,
+    )

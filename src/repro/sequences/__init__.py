@@ -1,0 +1,47 @@
+"""Sequence substrate: synthetic proteomes, families and FASTA I/O."""
+
+from .alphabet import (
+    AMINO_ACIDS,
+    ALPHABET_SIZE,
+    decode,
+    encode,
+    heavy_atom_count,
+    hydrogen_count,
+    is_valid_sequence,
+    molecular_weight,
+)
+from .fasta import format_fasta, parse_fasta, read_fasta, write_fasta
+from .generator import (
+    ProteinRecord,
+    SequenceFamily,
+    SequenceUniverse,
+    mutate_sequence,
+    random_sequence,
+    rng_for,
+)
+from .proteome import SPECIES, Proteome, SpeciesSpec, synthetic_proteome
+
+__all__ = [
+    "AMINO_ACIDS",
+    "ALPHABET_SIZE",
+    "decode",
+    "encode",
+    "heavy_atom_count",
+    "hydrogen_count",
+    "is_valid_sequence",
+    "molecular_weight",
+    "format_fasta",
+    "parse_fasta",
+    "read_fasta",
+    "write_fasta",
+    "ProteinRecord",
+    "SequenceFamily",
+    "SequenceUniverse",
+    "mutate_sequence",
+    "random_sequence",
+    "rng_for",
+    "SPECIES",
+    "Proteome",
+    "SpeciesSpec",
+    "synthetic_proteome",
+]

@@ -1,0 +1,218 @@
+"""Amino-acid alphabet: encoding, background frequencies, residue masses.
+
+Sequences are held internally as ``numpy`` ``uint8`` arrays of indices
+into :data:`AMINO_ACIDS`; this keeps homology search and mutation
+operators fully vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The 20 standard amino acids, one-letter codes, in a fixed order that
+#: defines the integer encoding used throughout the package.
+AMINO_ACIDS: str = "ACDEFGHIKLMNPQRSTVWY"
+
+#: Number of symbols in the alphabet.
+ALPHABET_SIZE: int = len(AMINO_ACIDS)
+
+#: Map one-letter code -> integer index.
+AA_TO_INDEX: dict[str, int] = {aa: i for i, aa in enumerate(AMINO_ACIDS)}
+
+#: Approximate background frequencies of amino acids in natural proteins
+#: (Robinson & Robinson-like composition), in :data:`AMINO_ACIDS` order.
+BACKGROUND_FREQUENCIES: np.ndarray = np.array(
+    [
+        0.078,  # A
+        0.019,  # C
+        0.054,  # D
+        0.063,  # E
+        0.039,  # F
+        0.072,  # G
+        0.022,  # H
+        0.053,  # I
+        0.059,  # K
+        0.091,  # L
+        0.022,  # M
+        0.044,  # N
+        0.052,  # P
+        0.042,  # Q
+        0.051,  # R
+        0.071,  # S
+        0.058,  # T
+        0.066,  # V
+        0.014,  # W
+        0.030,  # Y
+    ],
+    dtype=np.float64,
+)
+BACKGROUND_FREQUENCIES = BACKGROUND_FREQUENCIES / BACKGROUND_FREQUENCIES.sum()
+
+#: Average residue masses in Daltons (monoisotopic-ish, rounded), used by
+#: the heavy-atom expansion in :mod:`repro.relax.hydrogens`.
+RESIDUE_MASSES: np.ndarray = np.array(
+    [
+        71.08,  # A
+        103.14,  # C
+        115.09,  # D
+        129.12,  # E
+        147.18,  # F
+        57.05,  # G
+        137.14,  # H
+        113.16,  # I
+        128.17,  # K
+        113.16,  # L
+        131.19,  # M
+        114.10,  # N
+        97.12,  # P
+        128.13,  # Q
+        156.19,  # R
+        87.08,  # S
+        101.10,  # T
+        99.13,  # V
+        186.21,  # W
+        163.18,  # Y
+    ],
+    dtype=np.float64,
+)
+
+#: Number of heavy (non-hydrogen) atoms per residue type, including the
+#: 4 backbone heavy atoms (N, CA, C, O).  Used for sizing molecular
+#: mechanics systems (paper Fig. 4 plots time against heavy-atom count).
+HEAVY_ATOMS_PER_RESIDUE: np.ndarray = np.array(
+    [
+        5,  # A
+        6,  # C
+        8,  # D
+        9,  # E
+        11,  # F
+        4,  # G
+        10,  # H
+        8,  # I
+        9,  # K
+        8,  # L
+        8,  # M
+        8,  # N
+        7,  # P
+        9,  # Q
+        11,  # R
+        6,  # S
+        7,  # T
+        7,  # V
+        14,  # W
+        12,  # Y
+    ],
+    dtype=np.int64,
+)
+
+#: Hydrogen atoms per residue type (approximate, protonated sidechains),
+#: used when the relaxation protocol "adds hydrogens" (paper §3.2.3).
+HYDROGENS_PER_RESIDUE: np.ndarray = np.array(
+    [
+        5,  # A
+        5,  # C
+        4,  # D
+        6,  # E
+        8,  # F
+        3,  # G
+        6,  # H
+        10,  # I
+        11,  # K
+        10,  # L
+        8,  # M
+        5,  # N
+        7,  # P
+        7,  # Q
+        12,  # R
+        5,  # S
+        7,  # T
+        8,  # V
+        9,  # W
+        8,  # Y
+    ],
+    dtype=np.int64,
+)
+
+#: Kyte-Doolittle hydropathy, used by the procedural fold generator to
+#: bias residues toward the core or the surface.
+HYDROPATHY: np.ndarray = np.array(
+    [
+        1.8,  # A
+        2.5,  # C
+        -3.5,  # D
+        -3.5,  # E
+        2.8,  # F
+        -0.4,  # G
+        -3.2,  # H
+        4.5,  # I
+        -3.9,  # K
+        3.8,  # L
+        1.9,  # M
+        -3.5,  # N
+        -1.6,  # P
+        -3.5,  # Q
+        -4.5,  # R
+        -0.8,  # S
+        -0.7,  # T
+        4.2,  # V
+        -0.9,  # W
+        -1.3,  # Y
+    ],
+    dtype=np.float64,
+)
+
+
+def encode(sequence: str) -> np.ndarray:
+    """Encode a one-letter amino-acid string to a ``uint8`` index array.
+
+    Unknown characters (e.g. ``X``) raise ``KeyError`` — synthetic data
+    never produces them, and real inputs should be sanitized upstream.
+    """
+    try:
+        return np.fromiter(
+            (AA_TO_INDEX[ch] for ch in sequence), dtype=np.uint8, count=len(sequence)
+        )
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise ValueError(f"non-standard amino acid in sequence: {exc}") from exc
+
+
+def decode(encoded: np.ndarray) -> str:
+    """Decode a ``uint8`` index array back to a one-letter string."""
+    arr = np.asarray(encoded, dtype=np.uint8)
+    if arr.size and arr.max() >= ALPHABET_SIZE:
+        raise ValueError("index out of alphabet range")
+    lut = np.frombuffer(AMINO_ACIDS.encode("ascii"), dtype=np.uint8)
+    return lut[arr].tobytes().decode("ascii")
+
+
+def is_valid_sequence(sequence: str) -> bool:
+    """True if every character is a standard one-letter amino acid code."""
+    return all(ch in AA_TO_INDEX for ch in sequence)
+
+
+def molecular_weight(encoded: np.ndarray) -> float:
+    """Approximate molecular weight (Da) of an encoded sequence.
+
+    Adds one water for the free termini, as in standard peptide mass
+    computation.
+    """
+    arr = np.asarray(encoded, dtype=np.uint8)
+    if arr.size == 0:
+        return 0.0
+    return float(RESIDUE_MASSES[arr].sum() + 18.02)
+
+
+def heavy_atom_count(encoded: np.ndarray) -> int:
+    """Total heavy (non-hydrogen) atom count of an encoded sequence."""
+    arr = np.asarray(encoded, dtype=np.uint8)
+    # The C-terminal residue carries one extra oxygen (OXT).
+    extra_oxt = 1 if arr.size else 0
+    return int(HEAVY_ATOMS_PER_RESIDUE[arr].sum() + extra_oxt)
+
+
+def hydrogen_count(encoded: np.ndarray) -> int:
+    """Total hydrogen count after protonation (paper's "add hydrogens")."""
+    arr = np.asarray(encoded, dtype=np.uint8)
+    # N-terminal amine gains two protons relative to the chain average.
+    extra = 2 if arr.size else 0
+    return int(HYDROGENS_PER_RESIDUE[arr].sum() + extra)

@@ -1,0 +1,83 @@
+"""Minimal FASTA reader/writer for :class:`ProteinRecord` collections.
+
+The real pipeline moves sequences between stages as FASTA files on the
+parallel filesystem; examples and tests use this module for the same
+hand-off so the stage decoupling is exercised end to end.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from .alphabet import encode
+from .generator import ProteinRecord
+
+__all__ = ["write_fasta", "read_fasta", "parse_fasta", "format_fasta"]
+
+_LINE_WIDTH = 60
+
+
+def format_fasta(records: Iterable[ProteinRecord]) -> str:
+    """Render records as FASTA text (60-column wrapped)."""
+    out = io.StringIO()
+    for rec in records:
+        header = rec.record_id
+        if rec.description:
+            header += f" {rec.description}"
+        out.write(f">{header}\n")
+        seq = rec.sequence
+        for start in range(0, len(seq), _LINE_WIDTH):
+            out.write(seq[start : start + _LINE_WIDTH])
+            out.write("\n")
+    return out.getvalue()
+
+
+def write_fasta(records: Iterable[ProteinRecord], path: str | Path) -> None:
+    """Write records to a FASTA file."""
+    Path(path).write_text(format_fasta(records), encoding="ascii")
+
+
+def parse_fasta(text: str) -> Iterator[ProteinRecord]:
+    """Parse FASTA text into :class:`ProteinRecord` objects.
+
+    The first whitespace-delimited token of each header becomes the
+    record id; the remainder becomes the description.  Empty sequences
+    are rejected — they would silently break every downstream stage.
+    """
+    header: str | None = None
+    chunks: list[str] = []
+
+    def emit() -> ProteinRecord:
+        assert header is not None
+        seq = "".join(chunks)
+        if not seq:
+            raise ValueError(f"empty sequence for record {header!r}")
+        token, _, rest = header.partition(" ")
+        return ProteinRecord(
+            record_id=token, encoded=encode(seq), description=rest.strip()
+        )
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if header is not None:
+                yield emit()
+            header = line[1:].strip()
+            if not header:
+                raise ValueError("FASTA header with no id")
+            chunks = []
+        else:
+            if header is None:
+                raise ValueError("sequence data before first FASTA header")
+            chunks.append(line.upper())
+    if header is not None:
+        yield emit()
+
+
+def read_fasta(path: str | Path) -> list[ProteinRecord]:
+    """Read a FASTA file into a list of records."""
+    return list(parse_fasta(Path(path).read_text(encoding="ascii")))

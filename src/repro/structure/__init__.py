@@ -1,0 +1,34 @@
+"""Structure substrate: models, metrics, alignment, PDB I/O, fold library."""
+
+from .align3d import AlignmentResult, align_structures, nw_align_matrix
+from .library import FoldHit, FoldLibrary, FoldLibraryEntry, build_fold_library
+from .pdb import parse_pdb, read_pdb, structure_to_pdb, write_pdb
+from .protein import Structure, pairwise_distances, pseudo_cb
+from .specs import specs_score
+from .superpose import Superposition, kabsch, rmsd, superpose
+from .tmscore import gdt_ts, tm_d0, tm_score
+
+__all__ = [
+    "AlignmentResult",
+    "align_structures",
+    "nw_align_matrix",
+    "FoldHit",
+    "FoldLibrary",
+    "FoldLibraryEntry",
+    "build_fold_library",
+    "parse_pdb",
+    "read_pdb",
+    "structure_to_pdb",
+    "write_pdb",
+    "Structure",
+    "pairwise_distances",
+    "pseudo_cb",
+    "specs_score",
+    "Superposition",
+    "kabsch",
+    "rmsd",
+    "superpose",
+    "gdt_ts",
+    "tm_d0",
+    "tm_score",
+]

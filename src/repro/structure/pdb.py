@@ -1,0 +1,102 @@
+"""PDB-format serialization for Calpha-resolution structures.
+
+Writes one ``ATOM`` record per residue (the CA atom), placing per-residue
+pLDDT in the B-factor column exactly as AlphaFold's output does, so the
+files are viewable in standard molecular viewers with confidence
+coloring.  A matching reader round-trips what the writer produces and
+tolerates ordinary CA-only PDB files.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..sequences.alphabet import AA_TO_INDEX, AMINO_ACIDS
+from .protein import Structure
+
+__all__ = ["structure_to_pdb", "write_pdb", "read_pdb", "parse_pdb"]
+
+#: Three-letter residue names in alphabet order.
+_THREE_LETTER: dict[str, str] = {
+    "A": "ALA", "C": "CYS", "D": "ASP", "E": "GLU", "F": "PHE",
+    "G": "GLY", "H": "HIS", "I": "ILE", "K": "LYS", "L": "LEU",
+    "M": "MET", "N": "ASN", "P": "PRO", "Q": "GLN", "R": "ARG",
+    "S": "SER", "T": "THR", "V": "VAL", "W": "TRP", "Y": "TYR",
+}
+_ONE_LETTER: dict[str, str] = {v: k for k, v in _THREE_LETTER.items()}
+
+
+def structure_to_pdb(structure: Structure) -> str:
+    """Render a structure as PDB text (CA trace, pLDDT as B-factor)."""
+    out = io.StringIO()
+    title = structure.record_id
+    if structure.model_name:
+        title += f" model={structure.model_name}"
+    out.write(f"REMARK   1 {title}\n")
+    plddt = structure.plddt
+    seq = structure.sequence
+    for i, (aa, xyz) in enumerate(zip(seq, structure.ca)):
+        b = float(plddt[i]) if plddt is not None else 0.0
+        out.write(
+            f"ATOM  {i + 1:5d}  CA  {_THREE_LETTER[aa]} A{i + 1:4d}    "
+            f"{xyz[0]:8.3f}{xyz[1]:8.3f}{xyz[2]:8.3f}{1.00:6.2f}{b:6.2f}"
+            f"           C\n"
+        )
+    out.write("TER\nEND\n")
+    return out.getvalue()
+
+
+def write_pdb(structure: Structure, path: str | Path) -> None:
+    Path(path).write_text(structure_to_pdb(structure), encoding="ascii")
+
+
+def parse_pdb(text: str, record_id: str = "") -> Structure:
+    """Parse CA records from PDB text into a :class:`Structure`.
+
+    Only ``ATOM`` records whose atom name is ``CA`` are consumed; other
+    atoms are ignored so full-atom PDB files degrade gracefully to a
+    Calpha trace.
+    """
+    coords: list[tuple[float, float, float]] = []
+    residues: list[int] = []
+    bfactors: list[float] = []
+    rid = record_id
+    for line in text.splitlines():
+        if line.startswith("REMARK") and not rid:
+            parts = line.split()
+            if len(parts) >= 3:
+                rid = parts[2]
+        if not line.startswith("ATOM"):
+            continue
+        if line[12:16].strip() != "CA":
+            continue
+        resname = line[17:20].strip()
+        one = _ONE_LETTER.get(resname)
+        if one is None:
+            raise ValueError(f"non-standard residue {resname!r}")
+        residues.append(AA_TO_INDEX[one])
+        coords.append(
+            (float(line[30:38]), float(line[38:46]), float(line[46:54]))
+        )
+        bfield = line[60:66].strip()
+        bfactors.append(float(bfield) if bfield else 0.0)
+    if not coords:
+        raise ValueError("no CA atoms found in PDB text")
+    plddt = np.array(bfactors, dtype=np.float64)
+    return Structure(
+        record_id=rid or "unknown",
+        encoded=np.array(residues, dtype=np.uint8),
+        ca=np.array(coords, dtype=np.float64),
+        plddt=plddt if np.any(plddt > 0) else None,
+    )
+
+
+def read_pdb(path: str | Path) -> Structure:
+    return parse_pdb(Path(path).read_text(encoding="ascii"))
+
+
+# Sanity: the alphabet must cover exactly the 20 standard residues.
+assert set(_THREE_LETTER) == set(AMINO_ACIDS)

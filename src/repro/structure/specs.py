@@ -1,0 +1,84 @@
+"""SPECS-like model quality score (after Alapati et al., 2020).
+
+SPECS integrates side-chain orientation with global distance-based terms
+so that, unlike TM-score (backbone only), it rewards correctly packed
+side chains.  The paper uses SPECS to show that relaxation slightly
+*improves* side-chain placement for already-good models (Fig. 3 right).
+
+Our structures are Calpha + virtual-CB resolution, so the side-chain
+terms are computed on the virtual-CB vectors.  The functional form
+follows the SPECS recipe: a GDT-style multi-cutoff backbone term, a
+side-chain distance term with TM-like weighting, and a side-chain
+orientation (angular agreement) term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .protein import pseudo_cb
+from .superpose import kabsch
+from .tmscore import gdt_ts, tm_d0
+
+__all__ = ["specs_score"]
+
+#: Term weights (backbone GDT, side-chain distance, side-chain orientation).
+_W_GDT = 0.40
+_W_SC_DIST = 0.35
+_W_SC_ORIENT = 0.25
+
+
+def specs_score(
+    model_ca: np.ndarray,
+    native_ca: np.ndarray,
+    model_cb: np.ndarray | None = None,
+    native_cb: np.ndarray | None = None,
+) -> float:
+    """SPECS-like score in [0, 1] of a model against its native.
+
+    ``model_cb``/``native_cb`` default to the virtual-CB construction
+    from the Calpha trace; pass explicit side-chain centers when the
+    caller has them (the relaxation pipeline tracks CB explicitly so the
+    minimizer can improve side-chain placement).
+    """
+    mod = np.asarray(model_ca, dtype=np.float64)
+    nat = np.asarray(native_ca, dtype=np.float64)
+    if mod.shape != nat.shape or mod.ndim != 2 or mod.shape[1] != 3:
+        raise ValueError("model and native must be matching (N, 3) arrays")
+    n = mod.shape[0]
+    if n < 3:
+        raise ValueError("need at least 3 residues")
+    mcb = pseudo_cb(mod) if model_cb is None else np.asarray(model_cb, dtype=np.float64)
+    ncb = pseudo_cb(nat) if native_cb is None else np.asarray(native_cb, dtype=np.float64)
+    if mcb.shape != mod.shape or ncb.shape != nat.shape:
+        raise ValueError("CB arrays must match CA arrays in shape")
+
+    # Backbone term: GDT-TS on Calpha.
+    gdt = gdt_ts(mod, nat)
+
+    # Superpose on backbone, evaluate side chains in that frame (SPECS
+    # evaluates side-chain placement given the global superposition).
+    sup = kabsch(mod, nat)
+    mod_fit_cb = sup.apply(mcb)
+    d0 = tm_d0(n)
+    sc_dist2 = ((mod_fit_cb - ncb) ** 2).sum(axis=1)
+    sc_dist_term = float((1.0 / (1.0 + sc_dist2 / (d0 * d0))).mean())
+
+    # Orientation term: angular agreement of the CA->CB vectors after the
+    # backbone superposition (rotation only; vectors are frame-relative).
+    mod_vec = (mcb - mod) @ sup.rotation.T
+    nat_vec = ncb - nat
+    mn = np.linalg.norm(mod_vec, axis=1)
+    nn = np.linalg.norm(nat_vec, axis=1)
+    valid = (mn > 1e-9) & (nn > 1e-9)
+    if valid.any():
+        cosang = np.clip(
+            (mod_vec[valid] * nat_vec[valid]).sum(axis=1) / (mn[valid] * nn[valid]),
+            -1.0,
+            1.0,
+        )
+        orient_term = float(((cosang + 1.0) / 2.0).mean())
+    else:  # pragma: no cover - degenerate chains only
+        orient_term = 0.0
+
+    return _W_GDT * gdt + _W_SC_DIST * sc_dist_term + _W_SC_ORIENT * orient_term

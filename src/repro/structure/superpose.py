@@ -1,0 +1,86 @@
+"""Optimal rigid-body superposition (Kabsch algorithm).
+
+The workhorse underneath TM-score, SPECS-score and structural alignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Superposition", "kabsch", "superpose", "rmsd"]
+
+
+@dataclass(frozen=True)
+class Superposition:
+    """Result of a least-squares superposition of mobile onto reference.
+
+    Apply with ``mobile @ rotation.T + translation``.
+    """
+
+    rotation: np.ndarray
+    translation: np.ndarray
+    rmsd: float
+
+    def apply(self, coords: np.ndarray) -> np.ndarray:
+        return np.asarray(coords, dtype=np.float64) @ self.rotation.T + self.translation
+
+
+def kabsch(
+    mobile: np.ndarray,
+    reference: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> Superposition:
+    """Least-squares rigid superposition of ``mobile`` onto ``reference``.
+
+    Both arrays must be (N, 3) with matched rows.  ``weights`` (N,) gives
+    a weighted fit, which the iterative TM-score refinement uses to focus
+    on well-aligned cores.  Reflections are excluded (proper rotation).
+    """
+    mob = np.asarray(mobile, dtype=np.float64)
+    ref = np.asarray(reference, dtype=np.float64)
+    if mob.shape != ref.shape or mob.ndim != 2 or mob.shape[1] != 3:
+        raise ValueError("mobile and reference must be matching (N, 3) arrays")
+    if mob.shape[0] == 0:
+        raise ValueError("cannot superpose empty point sets")
+    if weights is None:
+        w = np.ones(mob.shape[0], dtype=np.float64)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (mob.shape[0],):
+            raise ValueError("weights must be (N,)")
+        if (w < 0).any() or w.sum() <= 0:
+            raise ValueError("weights must be non-negative and not all zero")
+    wsum = w.sum()
+    mob_center = (w[:, None] * mob).sum(axis=0) / wsum
+    ref_center = (w[:, None] * ref).sum(axis=0) / wsum
+    mob_c = mob - mob_center
+    ref_c = ref - ref_center
+    # Covariance and SVD.
+    cov = (w[:, None] * mob_c).T @ ref_c
+    u, _s, vt = np.linalg.svd(cov)
+    d = np.sign(np.linalg.det(vt.T @ u.T))
+    flip = np.diag([1.0, 1.0, d])
+    rotation = vt.T @ flip @ u.T
+    translation = ref_center - rotation @ mob_center
+    fitted = mob @ rotation.T + translation
+    dev2 = ((fitted - ref) ** 2).sum(axis=1)
+    rms = float(np.sqrt((w * dev2).sum() / wsum))
+    return Superposition(rotation=rotation, translation=translation, rmsd=rms)
+
+
+def superpose(mobile: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Return ``mobile`` optimally superposed onto ``reference``."""
+    return kabsch(mobile, reference).apply(mobile)
+
+
+def rmsd(a: np.ndarray, b: np.ndarray, superposition: bool = True) -> float:
+    """RMSD between matched coordinate sets, optionally after superposition."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if superposition:
+        return kabsch(a, b).rmsd
+    if a.shape != b.shape:
+        raise ValueError("shape mismatch")
+    return float(np.sqrt(((a - b) ** 2).sum(axis=1).mean()))

@@ -1,0 +1,111 @@
+"""Annotation and novelty analysis tests (§4.6 in miniature)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import annotate_structures, find_novel_candidates
+from repro.fold import NativeFactory, PredictionConfig, SurrogateFoldModel
+from repro.msa import generate_features
+from repro.sequences.proteome import species_family_base
+from repro.structure import build_fold_library
+
+
+@pytest.fixture(scope="module")
+def setup(universe, proteome, suite):
+    base = species_family_base("D_vulgaris")
+    pool = max(1, int(len(proteome) / 0.98 * 0.6))
+    library = build_fold_library(
+        universe, list(range(base, base + pool)), seed=3
+    )
+    factory = NativeFactory(universe)
+    model = SurrogateFoldModel(factory, 2)
+    cfg = PredictionConfig(max_recycles=8, recycle_tolerance=0.5, adaptive_cap=True)
+    structures = {}
+    for rec in list(proteome)[:14]:
+        feats = generate_features(rec, suite)
+        structures[rec.record_id] = model.predict(feats, cfg).structure
+    return library, structures, factory
+
+
+
+@pytest.fixture(scope="module")
+def census(setup):
+    """One shared annotation census (the search is the slow part)."""
+    library, structures, _ = setup
+    return annotate_structures(structures, library, max_candidates=25)
+
+def test_library_deposits_follow_policy(universe, setup):
+    library, _, _ = setup
+    assert len(library) > 0
+    # All annotated, multiplicity>0 families in the pool must deposit;
+    # unannotated ones may (structural coverage outruns annotation).
+    deposited = {e.family_id for e in library.entries}
+    for entry in library.entries:
+        assert universe.family(entry.family_id).library_multiplicity > 0
+    assert any(universe.family(f).annotated for f in deposited)
+
+
+def test_annotation_census(setup, census, proteome):
+    library, structures, _ = setup
+    assert census.n_queries == len(structures)
+    assert 0 <= census.n_annotated <= census.n_queries
+    # Identity breakdown is nested.
+    assert census.n_below_identity(0.10) <= census.n_below_identity(0.20)
+    summary = census.summary()
+    assert summary["n_annotated"] == census.n_annotated
+
+
+def test_library_match_tracks_prediction_quality(setup, census, proteome, universe):
+    """The §4.6 mechanism: for deposited-family members, the best
+    structural match is about as good as the prediction itself — the
+    library rep stands in for the hidden native, up to family
+    divergence.  (This is what makes match-TM a usable annotation
+    signal.)"""
+    from repro.structure import tm_score
+
+    library, structures, factory = setup
+    deposited = {e.family_id for e in library.entries}
+    by_id = {r.record_id: r for r in proteome}
+    checked = 0
+    for rid, s in structures.items():
+        rec = by_id[rid]
+        if rec.family_id not in deposited or rec.divergence > 0.3:
+            continue
+        native = factory.native(rec)
+        true_tm = tm_score(s.ca, native.ca)
+        best = census.best_tm_per_query[rid]
+        assert best >= true_tm - 0.25
+        checked += 1
+    if checked == 0:
+        pytest.skip("no low-divergence deposited-family members in sample")
+
+
+def test_novelty_requires_confidence_and_no_match(setup, census):
+    library, structures, _ = setup
+    candidates = find_novel_candidates(structures, census.best_tm_per_query)
+    for c in candidates:
+        assert c.frac_residues_ultra_confident >= 0.98
+        assert c.best_library_tm < 0.40
+
+
+def test_novelty_detects_planted_candidate(universe, factory):
+    """A perfect-confidence orphan structure must be flagged."""
+    from repro.sequences import ProteinRecord, random_sequence, rng_for
+
+    rng = rng_for(0, "novelty-test")
+    rec = ProteinRecord(
+        record_id="planted_orphan",
+        encoded=random_sequence(150, rng),
+        family_id=None,
+        divergence=1.0,
+        annotated=False,
+    )
+    native = factory.native(rec).with_plddt(np.full(150, 97.0))
+    candidates = find_novel_candidates(
+        {"planted_orphan": native}, {"planted_orphan": 0.30}
+    )
+    assert len(candidates) == 1
+    # And with a strong library match it must NOT be flagged.
+    assert not find_novel_candidates(
+        {"planted_orphan": native}, {"planted_orphan": 0.8}
+    )

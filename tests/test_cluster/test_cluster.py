@@ -1,0 +1,166 @@
+"""Cluster substrate tests: machines, LSF layouts, clock, cost model."""
+
+import pytest
+
+from repro.cluster import (
+    ANDES,
+    SUMMIT,
+    BatchJob,
+    BatchScheduler,
+    JsrunStatement,
+    ResourceSet,
+    SimClock,
+    feature_task_seconds,
+    inference_job,
+    inference_recycle_seconds,
+    inference_task_seconds,
+    relax_pass_seconds,
+    relax_task_seconds,
+)
+
+
+class TestMachines:
+    def test_summit_shape(self):
+        assert SUMMIT.gpus_per_node == 6
+        assert SUMMIT.total_gpus == 4600 * 6
+        assert SUMMIT.workers_per_node() == 6
+        assert SUMMIT.n_highmem_nodes > 0
+
+    def test_andes_no_gpus(self):
+        assert not ANDES.has_gpus
+        assert ANDES.workers_per_node() >= 1
+
+    def test_node_hours(self):
+        assert SUMMIT.node_hours(32, 3600) == 32.0
+        with pytest.raises(ValueError):
+            SUMMIT.node_hours(10_000, 60)
+        with pytest.raises(ValueError):
+            SUMMIT.node_hours(-1, 60)
+
+    def test_worker_memory_split(self):
+        per_worker = SUMMIT.worker_memory_bytes()
+        assert 0 <= SUMMIT.node_memory_bytes - per_worker * 6 < 6
+        assert SUMMIT.worker_memory_bytes(highmem=True) > per_worker
+
+
+class TestLSF:
+    def test_paper_inference_layout_fits(self):
+        job = inference_job(32, SUMMIT)
+        assert len(job.statements) == 3  # scheduler, workers, client
+        workers = job.statements[1]
+        assert workers.n_sets == 32 * 6
+        assert workers.resource_set.gpus == 1
+
+    def test_oversubscription_rejected(self):
+        job = BatchJob("too-big", n_nodes=1)
+        job.add(JsrunStatement("w", 100, ResourceSet(cores=4, gpus=1)))
+        with pytest.raises(ValueError):
+            job.validate(SUMMIT)
+
+    def test_too_many_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            BatchJob("huge", n_nodes=99_999).validate(SUMMIT)
+
+    def test_resource_set_validation(self):
+        with pytest.raises(ValueError):
+            ResourceSet(cores=0)
+        with pytest.raises(ValueError):
+            JsrunStatement("x", 0, ResourceSet(cores=1))
+
+    def test_scheduler_accounting(self):
+        sched = BatchScheduler(SUMMIT)
+        job = inference_job(10, SUMMIT)
+        rec = sched.run_job(job, wall_seconds=7200)
+        assert rec.node_hours == 20.0
+        assert sched.total_node_hours == 20.0
+
+
+class TestSimClock:
+    def test_ordering(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule(5.0, lambda: seen.append("b"))
+        clock.schedule(1.0, lambda: seen.append("a"))
+        clock.schedule(5.0, lambda: seen.append("c"))  # ties keep order
+        end = clock.run()
+        assert seen == ["a", "b", "c"]
+        assert end == 5.0
+
+    def test_nested_scheduling(self):
+        clock = SimClock()
+        seen = []
+
+        def first():
+            seen.append(clock.now)
+            clock.schedule(2.0, lambda: seen.append(clock.now))
+
+        clock.schedule(1.0, first)
+        clock.run()
+        assert seen == [1.0, 3.0]
+
+    def test_run_until(self):
+        clock = SimClock()
+        clock.schedule(10.0, lambda: None)
+        assert clock.run(until=5.0) == 5.0
+        assert len(clock) == 1
+
+    def test_past_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.schedule(-1.0, lambda: None)
+
+
+class TestCostModel:
+    def test_inference_monotone(self):
+        assert inference_recycle_seconds(500) > inference_recycle_seconds(100)
+        assert inference_task_seconds(200, 6) > inference_task_seconds(200, 3)
+        assert inference_task_seconds(200, 3, 8) > 8 * inference_recycle_seconds(200)
+
+    def test_table1_reduced_db_calibration(self):
+        # 2795 tasks at mean length ~202, 3 recycles, on 192 workers
+        # should land in the neighbourhood of the paper's 44 minutes.
+        per_task = inference_task_seconds(202, 3)
+        walltime_min = 2795 * per_task / 192 / 60
+        assert 35 <= walltime_min <= 55
+
+    def test_feature_reduced_cheaper_than_full(self):
+        full = feature_task_seconds(328, dataset_fraction=1.0)
+        reduced = feature_task_seconds(328, dataset_fraction=0.2)
+        assert reduced < full
+
+    def test_feature_contention_slows(self):
+        assert feature_task_seconds(328, io_contention=3.0) > feature_task_seconds(328)
+
+    def test_dvulgaris_feature_node_hours(self):
+        # 3205 searches, 4 per node, reduced dataset: ~240 node-hours.
+        per_task = feature_task_seconds(328, dataset_fraction=0.2)
+        node_hours = 3205 * per_task / 4 / 3600
+        assert 180 <= node_hours <= 310
+
+    def test_relax_gpu_beats_cpu(self):
+        for atoms in (1000, 3000, 10_000):
+            assert relax_pass_seconds(atoms, "gpu") < relax_pass_seconds(atoms, "cpu")
+
+    def test_relax_speedup_grows_with_size(self):
+        small = relax_task_seconds(1500, 2, "cpu") / relax_task_seconds(1500, 1, "gpu")
+        large = relax_task_seconds(12_000, 2, "cpu") / relax_task_seconds(
+            12_000, 1, "gpu"
+        )
+        assert large > small
+        assert 8 <= large <= 30  # paper: up to ~14x
+
+    def test_genome_relax_calibration(self):
+        # 3205 structures on 48 GPU workers: paper 22.89 minutes.
+        mean_atoms = 328 * 8
+        minutes = 3205 * relax_task_seconds(mean_atoms, 1, "gpu") / 48 / 60
+        assert 15 <= minutes <= 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            inference_task_seconds(0, 3)
+        with pytest.raises(ValueError):
+            inference_task_seconds(100, 0)
+        with pytest.raises(ValueError):
+            relax_pass_seconds(100, "tpu")
+        with pytest.raises(ValueError):
+            feature_task_seconds(100, io_contention=0.5)

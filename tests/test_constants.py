@@ -1,0 +1,87 @@
+"""Sanity tests pinning the paper-quoted constants.
+
+These are the numbers the paper states explicitly; if someone edits
+them, every calibrated benchmark silently drifts — so they are pinned
+here with the section references.
+"""
+
+from repro import constants as C
+
+
+def test_violation_definitions():  # §3.2.3
+    assert C.CLASH_CUTOFF_ANGSTROM == 1.9
+    assert C.BUMP_CUTOFF_ANGSTROM == 3.6
+    assert C.MAX_CLASHES_FOR_CLEAN_MODEL == 4
+    assert C.MAX_BUMPS_FOR_CLEAN_MODEL == 50
+
+
+def test_relaxation_protocol():  # §3.2.3
+    assert C.RELAX_ENERGY_TOLERANCE_KCAL == 2.39
+    assert C.RELAX_RESTRAINT_K == 10.0
+
+
+def test_recycling_control():  # §3.2.2
+    assert C.GENOME_RECYCLE_TOLERANCE == 0.5
+    assert C.SUPER_RECYCLE_TOLERANCE == 0.1
+    assert C.MAX_RECYCLES == 20
+    assert C.MIN_RECYCLES_LONG_SEQUENCE == 6
+    assert C.RECYCLE_TAPER_START_LENGTH == 500
+    assert C.OFFICIAL_PRESET_RECYCLES == 3
+    assert C.REDUCED_DBS_ENSEMBLES == 1
+    assert C.CASP14_ENSEMBLES == 8
+    assert C.MAX_PROTEOME_SEQUENCE_LENGTH == 2500
+
+
+def test_dataset_sizes():  # §3.2.1
+    assert C.FULL_DATASET_BYTES == 2_100_000_000_000
+    assert C.REDUCED_DATASET_BYTES == 420_000_000_000
+    assert C.LIBRARY_REPLICA_COUNT == 24
+    assert C.JOBS_PER_LIBRARY_REPLICA == 4
+    # Full is exactly 5x the reduced, the paper's storage argument.
+    assert C.FULL_DATASET_BYTES == 5 * C.REDUCED_DATASET_BYTES
+
+
+def test_machine_shapes():  # §3
+    assert C.SUMMIT_NODE_COUNT == 4600
+    assert C.SUMMIT_GPUS_PER_NODE == 6
+    assert C.ANDES_NODE_COUNT == 704
+    assert C.ANDES_CORES_PER_NODE == 32
+
+
+def test_species_counts_sum():  # §4 / abstract
+    counts = C.SPECIES_STRUCTURE_COUNTS
+    assert counts["P_mercurii"] == 3446
+    assert counts["R_rubrum"] == 3849
+    assert counts["D_vulgaris"] == 3205
+    assert counts["S_divinum"] == 25134
+    assert sum(counts.values()) == 35634 == C.TOTAL_SEQUENCES
+
+
+def test_benchmark_shape():  # §4.2
+    assert C.BENCHMARK_SET_SIZE == 559
+    assert C.BENCHMARK_MIN_LENGTH == 29
+    assert C.BENCHMARK_MAX_LENGTH == 1266
+    assert C.BENCHMARK_MEAN_LENGTH == 202
+
+
+def test_quality_thresholds():  # §4.2, §4.3.1
+    assert C.HIGH_QUALITY_PLDDT == 70.0
+    assert C.ULTRA_HIGH_PLDDT == 90.0
+    assert C.HIGH_QUALITY_PTMS == 0.60
+
+
+def test_reported_costs():  # §4.1, §4.3.1, §4.5, Table 1
+    assert C.DVULGARIS_FEATURE_NODE_HOURS == 240.0
+    assert C.DVULGARIS_INFERENCE_NODE_HOURS == 400.0
+    assert C.SDIVINUM_FEATURE_NODE_HOURS == 2000.0
+    assert C.SDIVINUM_INFERENCE_NODE_HOURS == 3000.0
+    assert C.TABLE1_WALLTIME_MINUTES["reduced_db"] == 44.0
+    assert C.GENOME_RELAX_MINUTES == 22.89
+    assert C.GENOME_RELAX_WORKERS == 48
+    assert C.MAX_DEPLOYED_NODES == 1000
+    assert C.MAX_DEPLOYED_WORKERS == 6000
+
+
+def test_casp_set_sizes():  # §4.4
+    assert C.CASP_TARGETS_WITH_CRYSTALS == 19
+    assert C.CASP_TOTAL_MODELS == 160

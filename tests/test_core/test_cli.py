@@ -1,0 +1,78 @@
+"""CLI tests (subprocess-free: drive main() directly)."""
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_version():
+    parser = build_parser()
+    with pytest.raises(SystemExit) as exc:
+        parser.parse_args(["--version"])
+    assert exc.value.code == 0
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_predict_writes_pdbs_and_csv(tmp_path, capsys):
+    rc = main(
+        [
+            "predict",
+            "--species", "P_mercurii",
+            "--scale", "0.002",
+            "--max-targets", "2",
+            "--seed", "3",
+            "--out", str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    pdbs = list(tmp_path.glob("*.pdb"))
+    assert len(pdbs) == 2
+    with open(tmp_path / "summary.csv") as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 2
+    assert {"record_id", "plddt", "ptms", "recycles"} <= set(rows[0])
+    out = capsys.readouterr().out
+    assert "pLDDT" in out
+
+
+def test_relax_roundtrip(tmp_path, capsys, factory, proteome):
+    from repro.structure import write_pdb
+
+    native = factory.native(proteome[0])
+    src = tmp_path / "model.pdb"
+    write_pdb(native, src)
+    rc = main(["relax", str(src)])
+    assert rc == 0
+    assert (tmp_path / "model_relaxed.pdb").exists()
+    assert "clashes" in capsys.readouterr().out
+
+
+def test_campaign_summary(capsys):
+    rc = main(
+        [
+            "campaign",
+            "--species", "P_mercurii",
+            "--scale", "0.002",
+            "--seed", "5",
+            "--feature-nodes", "2",
+            "--inference-nodes", "1",
+            "--relax-nodes", "1",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "node-h" in out
+    assert "pLDDT>70" in out
+
+
+def test_table1_mini(capsys):
+    rc = main(["table1", "--n", "14", "--presets", "reduced_db", "--seed", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "reduced_db" in out

@@ -1,0 +1,49 @@
+"""Preset catalog tests (Table 1 configurations)."""
+
+import pytest
+
+from repro.core import PRESETS, get_preset
+
+
+def test_catalog_contents():
+    assert set(PRESETS) == {"reduced_db", "casp14", "genome", "super"}
+
+
+def test_official_flags():
+    assert PRESETS["reduced_db"].official
+    assert PRESETS["casp14"].official
+    assert not PRESETS["genome"].official
+    assert not PRESETS["super"].official
+
+
+def test_casp14_eight_ensembles():
+    assert PRESETS["casp14"].n_ensembles == 8
+    assert PRESETS["casp14"].max_recycles == 3
+
+
+def test_custom_presets_adaptive():
+    for name in ("genome", "super"):
+        p = PRESETS[name]
+        assert p.adaptive_cap
+        assert p.max_recycles == 20
+        assert p.recycle_tolerance is not None
+    assert PRESETS["genome"].recycle_tolerance > PRESETS["super"].recycle_tolerance
+
+
+def test_config_materialisation():
+    cfg = PRESETS["genome"].config(kingdom_bias=0.2, memory_budget_bytes=123)
+    assert cfg.recycle_tolerance == 0.5
+    assert cfg.kingdom_bias == 0.2
+    assert cfg.memory_budget_bytes == 123
+    assert cfg.recycle_cap(2500) == 6
+    assert cfg.recycle_cap(100) == 20
+
+
+def test_official_config_fixed_cap():
+    cfg = PRESETS["reduced_db"].config()
+    assert cfg.recycle_cap(2500) == 3
+
+
+def test_unknown_preset():
+    with pytest.raises(KeyError):
+        get_preset("fastest")

@@ -1,0 +1,106 @@
+"""Extra statistics-layer tests: edge cases and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import (
+    ImprovementConcentration,
+    benchmark_row,
+    improvement_concentration,
+    summarize_proteome,
+)
+from repro.fold.model import Prediction
+from repro.sequences import encode
+from repro.structure import Structure
+
+
+def _prediction(rid, plddt_value, ptms, recycles=3, n=20):
+    plddt = np.full(n, plddt_value, dtype=np.float64)
+    structure = Structure(
+        record_id=rid,
+        encoded=encode("A" * n),
+        ca=np.arange(n * 3, dtype=np.float64).reshape(n, 3),
+        plddt=plddt,
+    )
+    return Prediction(
+        structure=structure,
+        ptms=ptms,
+        mean_plddt=plddt_value,
+        n_recycles=recycles,
+        model_name="model_1",
+        difficulty=0.3,
+        true_tm=ptms,
+    )
+
+
+class TestBenchmarkRow:
+    def test_thresholds_exact(self):
+        top = {
+            "a": _prediction("a", 80.0, 0.7),
+            "b": _prediction("b", 60.0, 0.5),
+        }
+        row = benchmark_row("x", top, 10.0)
+        assert row.frac_plddt_high == 0.5
+        assert row.frac_ptms_high == 0.5
+        assert row.mean_plddt == pytest.approx(70.0)
+        assert row.count == 2
+
+    def test_as_tuple_rounding(self):
+        row = benchmark_row("x", {"a": _prediction("a", 77.77, 0.1234)}, 9.99)
+        name, plddt, ptms, count, wall = row.as_tuple()
+        assert (name, plddt, ptms, count, wall) == ("x", 77.8, 0.123, 1, 10.0)
+
+
+class TestConcentration:
+    def test_all_gains_equal(self):
+        base = {k: _prediction(k, 70, 0.5) for k in "abcd"}
+        up = {k: _prediction(k, 70, 0.56) for k in "abcd"}
+        conc = improvement_concentration(base, up)
+        assert conc.mean_delta == pytest.approx(0.06)
+        assert conc.frac_targets_gain_005 == 1.0
+        assert conc.share_of_gain_from_005 == pytest.approx(1.0)
+        assert conc.frac_targets_gain_010 == 0.0
+
+    def test_single_big_gainer(self):
+        base = {k: _prediction(k, 70, 0.5) for k in "abcdefghij"}
+        up = dict(base)
+        up["a"] = _prediction("a", 70, 0.9, recycles=20)
+        conc = improvement_concentration(base, up)
+        assert conc.frac_targets_gain_010 == pytest.approx(0.1)
+        assert conc.share_of_gain_from_010 == pytest.approx(1.0)
+        assert conc.mean_recycles_of_big_gainers == 20
+
+    def test_losses_not_counted_as_gain(self):
+        base = {"a": _prediction("a", 70, 0.6), "b": _prediction("b", 70, 0.6)}
+        up = {"a": _prediction("a", 70, 0.8), "b": _prediction("b", 70, 0.4)}
+        conc = improvement_concentration(base, up)
+        # share computed against positive gain only
+        assert conc.share_of_gain_from_010 == pytest.approx(1.0)
+        assert conc.mean_delta == pytest.approx(0.0)
+
+    def test_is_frozen_dataclass(self):
+        conc = ImprovementConcentration(0, 0, 0, 0, 0, 0)
+        with pytest.raises(AttributeError):
+            conc.mean_delta = 1.0
+
+
+class TestProteomeSummary:
+    def test_residue_vs_target_coverage(self):
+        # One uniformly great target, one uniformly poor target.
+        top = {
+            "good": _prediction("good", 95.0, 0.9),
+            "bad": _prediction("bad", 30.0, 0.2),
+        }
+        s = summarize_proteome(top)
+        assert s.n_targets == 2
+        assert s.frac_targets_plddt_high == 0.5
+        assert s.residue_coverage_plddt_high == pytest.approx(0.5)
+        assert s.residue_coverage_plddt_ultra == pytest.approx(0.5)
+        assert s.frac_targets_ptms_high == 0.5
+
+    def test_mean_recycles(self):
+        top = {
+            "a": _prediction("a", 80, 0.7, recycles=3),
+            "b": _prediction("b", 80, 0.7, recycles=19),
+        }
+        assert summarize_proteome(top).mean_recycles == 11.0

@@ -1,0 +1,86 @@
+"""Workload builder tests: Table 1 benchmark set and CASP-like targets."""
+
+import numpy as np
+import pytest
+
+from repro.constants import BENCHMARK_MIN_LENGTH
+from repro.core import benchmark_set, benchmark_suite, casp_targets
+from repro.fold import inference_memory_bytes, standard_worker_memory_bytes
+from repro.sequences import SequenceUniverse
+
+
+@pytest.fixture(scope="module")
+def small_bench():
+    uni = SequenceUniverse(4)
+    return benchmark_set(uni, seed=4, n_sequences=80)
+
+
+class TestBenchmarkSet:
+    def test_count_and_extremes(self, small_bench):
+        assert len(small_bench) == 80
+        lengths = small_bench.lengths()
+        assert lengths.min() == BENCHMARK_MIN_LENGTH
+        assert lengths.max() == 1266
+
+    def test_mean_near_paper(self):
+        uni = SequenceUniverse(0)
+        bench = benchmark_set(uni, seed=0)
+        assert len(bench) == 559
+        assert 160 <= bench.mean_length() <= 245  # paper: 202
+
+    def test_exactly_eight_exceed_casp14_wall(self, small_bench):
+        budget = standard_worker_memory_bytes()
+        over = [
+            r
+            for r in small_bench
+            if inference_memory_bytes(r.length, 8) > budget
+        ]
+        assert len(over) == 8
+
+    def test_deterministic(self):
+        uni = SequenceUniverse(4)
+        a = benchmark_set(uni, seed=4, n_sequences=50)
+        b = benchmark_set(SequenceUniverse(4), seed=4, n_sequences=50)
+        assert all((x.encoded == y.encoded).all() for x, y in zip(a, b))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            benchmark_set(SequenceUniverse(0), n_sequences=5)
+
+    def test_suite_finds_benchmark_homologs(self):
+        uni = SequenceUniverse(4)
+        bench = benchmark_set(uni, seed=4, n_sequences=60)
+        suite = benchmark_suite(uni, seed=4, n_sequences=60)
+        from repro.msa import generate_features
+
+        depths = [generate_features(r, suite).msa_depth for r in list(bench)[:10]]
+        assert max(depths) > 5
+
+
+class TestCaspTargets:
+    @pytest.fixture(scope="class")
+    def targets(self):
+        return casp_targets(n_targets=6, models_per_target=3, seed=5)
+
+    def test_shapes(self, targets):
+        assert len(targets) == 6
+        for t in targets:
+            assert len(t.models) == 3
+            assert len(t.native) == t.record.length
+            assert t.best_model.ptms == max(m.ptms for m in t.models)
+
+    def test_outlier_present(self, targets):
+        assert max(len(t.native) for t in targets) == 1438
+
+    def test_no_outlier_option(self):
+        targets = casp_targets(n_targets=3, models_per_target=1, seed=5,
+                               include_outlier=False)
+        assert max(len(t.native) for t in targets) <= 950
+
+    def test_quality_spread(self, targets):
+        tms = [t.best_model.true_tm for t in targets]
+        assert max(tms) > 0.75  # some excellent models, as in CASP14
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            casp_targets(n_targets=0)

@@ -1,0 +1,101 @@
+"""Client/futures/scheduler-file tests (the §3.3 deployment protocol)."""
+
+import json
+
+import pytest
+
+from repro.dataflow import Client, SchedulerService, load_task_csv
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = SchedulerService(tmp_path / "scheduler.json")
+    svc.spawn_workers(n_nodes=1, workers_per_node=3)
+    yield svc
+    svc.close()
+
+
+def test_scheduler_file_written(tmp_path):
+    svc = SchedulerService(tmp_path / "sched.json")
+    info = json.loads((tmp_path / "sched.json").read_text())
+    assert info["type"] == "repro-scheduler"
+    assert info["address"] == svc.address
+    svc.close()
+    assert not (tmp_path / "sched.json").exists()
+
+
+def test_client_requires_scheduler_file(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        Client(tmp_path / "missing.json")
+
+
+def test_client_rejects_foreign_file(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"type": "dask-scheduler", "address": "x"}))
+    with pytest.raises(ValueError):
+        Client(path)
+
+
+def test_map_and_gather(service, tmp_path):
+    client = Client(service.scheduler_file).connect(service)
+    futures = client.map(
+        lambda x: x * x, [(f"k{i}", i, float(i)) for i in range(12)]
+    )
+    assert all(f.done() for f in futures)
+    assert Client.gather(futures) == [i * i for i in range(12)]
+
+
+def test_worker_registration_required(tmp_path):
+    svc = SchedulerService(tmp_path / "s.json")
+    client = Client(svc.scheduler_file).connect(svc)
+    with pytest.raises(RuntimeError):
+        client.map(lambda x: x, [("k", 1, 1.0)])
+    svc.close()
+
+
+def test_unconnected_client_raises(service):
+    client = Client(service.scheduler_file)
+    with pytest.raises(RuntimeError):
+        client.map(lambda x: x, [("k", 1, 1.0)])
+
+
+def test_failures_surface_in_futures(service):
+    client = Client(service.scheduler_file).connect(service)
+
+    def work(x):
+        if x == 2:
+            raise ValueError("bad input")
+        return x
+
+    futures = client.map(work, [(f"k{i}", i, 1.0) for i in range(4)])
+    by_key = {f.key: f for f in futures}
+    assert by_key["k1"].result() == 1
+    assert "bad input" in (by_key["k2"].exception() or "")
+    with pytest.raises(RuntimeError):
+        by_key["k2"].result()
+
+
+def test_stats_csv_streaming(service, tmp_path):
+    client = Client(service.scheduler_file).connect(service)
+    csv_path = tmp_path / "stats.csv"
+    client.map(
+        lambda x: x, [(f"k{i}", i, 1.0) for i in range(6)], stats_csv=csv_path
+    )
+    records = load_task_csv(csv_path)
+    assert len(records) == 6
+    assert all(r.ok for r in records)
+
+
+def test_duplicate_keys_rejected(service):
+    client = Client(service.scheduler_file).connect(service)
+    with pytest.raises(ValueError):
+        client.map(lambda x: x, [("same", 1, 1.0), ("same", 2, 2.0)])
+
+
+def test_mismatched_service_rejected(tmp_path):
+    a = SchedulerService(tmp_path / "a.json")
+    b = SchedulerService(tmp_path / "b.json")
+    with pytest.raises(ValueError):
+        Client(a.scheduler_file).connect(b)
+    a.close()
+    b.close()

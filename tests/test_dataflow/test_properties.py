@@ -1,0 +1,110 @@
+"""Property-based invariants of the dataflow executors (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow import TaskSpec, make_workers, simulate_dataflow
+
+durations_strategy = st.lists(
+    st.floats(0.01, 500.0), min_size=1, max_size=120
+)
+workers_strategy = st.integers(1, 12)
+
+
+def _tasks(durations):
+    return [
+        TaskSpec(key=f"t{i}", payload=float(d), size_hint=float(d))
+        for i, d in enumerate(durations)
+    ]
+
+
+@given(durations=durations_strategy, n_workers=workers_strategy)
+@settings(max_examples=60, deadline=None)
+def test_all_tasks_complete_exactly_once(durations, n_workers):
+    result = simulate_dataflow(
+        _tasks(durations),
+        make_workers(1, n_workers),
+        lambda t: float(t.payload),
+        task_overhead=0.0,
+        startup=0.0,
+    )
+    keys = [r.key for r in result.records]
+    assert sorted(keys) == sorted(f"t{i}" for i in range(len(durations)))
+
+
+@given(durations=durations_strategy, n_workers=workers_strategy)
+@settings(max_examples=60, deadline=None)
+def test_makespan_bounds(durations, n_workers):
+    """Makespan is sandwiched by the standard list-scheduling bounds."""
+    result = simulate_dataflow(
+        _tasks(durations),
+        make_workers(1, n_workers),
+        lambda t: float(t.payload),
+        task_overhead=0.0,
+        startup=0.0,
+    )
+    total = sum(durations)
+    lower = max(max(durations), total / n_workers)
+    assert result.makespan_seconds >= lower - 1e-6
+    # Graham's bound for any list schedule: (2 - 1/m) * OPT.
+    assert result.makespan_seconds <= (2 - 1 / n_workers) * lower + 1e-6
+
+
+@given(durations=durations_strategy, n_workers=workers_strategy)
+@settings(max_examples=40, deadline=None)
+def test_no_worker_overlap(durations, n_workers):
+    """A worker never runs two tasks at once."""
+    result = simulate_dataflow(
+        _tasks(durations),
+        make_workers(1, n_workers),
+        lambda t: float(t.payload),
+        task_overhead=0.0,
+        startup=0.0,
+    )
+    by_worker = {}
+    for r in result.records:
+        by_worker.setdefault(r.worker_id, []).append((r.start, r.end))
+    for intervals in by_worker.values():
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1 - 1e-9
+
+
+@given(durations=durations_strategy)
+@settings(max_examples=30, deadline=None)
+def test_more_workers_never_slower(durations):
+    tasks = _tasks(durations)
+    walls = []
+    for n in (1, 2, 4, 8):
+        result = simulate_dataflow(
+            tasks,
+            make_workers(1, n),
+            lambda t: float(t.payload),
+            task_overhead=0.0,
+            startup=0.0,
+        )
+        walls.append(result.makespan_seconds)
+    # Descending-order list scheduling (LPT) is monotone in worker count.
+    for a, b in zip(walls, walls[1:]):
+        assert b <= a + 1e-6
+
+
+@given(
+    durations=st.lists(st.floats(0.5, 50.0), min_size=2, max_size=60),
+    overhead=st.floats(0.0, 5.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_overhead_extends_makespan(durations, overhead):
+    tasks = _tasks(durations)
+    workers = make_workers(1, 3)
+    base = simulate_dataflow(
+        tasks, workers, lambda t: float(t.payload),
+        task_overhead=0.0, startup=0.0,
+    )
+    slowed = simulate_dataflow(
+        tasks, workers, lambda t: float(t.payload),
+        task_overhead=overhead, startup=0.0,
+    )
+    assert slowed.makespan_seconds >= base.makespan_seconds - 1e-9

@@ -1,0 +1,113 @@
+"""Complex-prediction (AF2Complex extension) tests."""
+
+import numpy as np
+import pytest
+
+from repro.fold import (
+    ComplexPredictor,
+    NativeFactory,
+    interface_contacts,
+    pair_interacts,
+)
+from repro.msa import generate_features
+
+
+@pytest.fixture(scope="module")
+def complex_setup(universe, proteome, suite):
+    factory = NativeFactory(universe)
+    predictor = ComplexPredictor(factory)
+    recs = [r for r in proteome if r.family_id is not None and r.length < 350][:10]
+    feats = {r.record_id: generate_features(r, suite) for r in recs}
+    return predictor, recs, feats
+
+
+class TestInteractome:
+    def test_symmetric(self, proteome):
+        recs = [r for r in proteome if r.family_id is not None][:6]
+        for a in recs:
+            for b in recs:
+                assert pair_interacts(a, b) == pair_interacts(b, a)
+
+    def test_orphans_never_interact(self, proteome):
+        orphan = next(r for r in proteome if r.family_id is None)
+        other = next(r for r in proteome if r.family_id is not None)
+        assert not pair_interacts(orphan, other)
+
+    def test_deterministic(self, proteome):
+        recs = [r for r in proteome if r.family_id is not None][:4]
+        flags = [pair_interacts(recs[0], r) for r in recs[1:]]
+        assert flags == [pair_interacts(recs[0], r) for r in recs[1:]]
+
+
+class TestInterfaceContacts:
+    def test_touching_chains(self):
+        a = np.zeros((10, 3))
+        a[:, 0] = np.arange(10) * 3.8
+        b = a + np.array([0.0, 5.0, 0.0])
+        assert interface_contacts(a, b) > 0
+
+    def test_distant_chains(self):
+        a = np.zeros((10, 3))
+        b = a + 500.0
+        assert interface_contacts(a, b) == 0
+
+    def test_empty(self):
+        assert interface_contacts(np.zeros((0, 3)), np.zeros((5, 3))) == 0
+
+
+class TestComplexPredictor:
+    def test_native_pose_has_interface(self, complex_setup):
+        predictor, recs, _ = complex_setup
+        pair = None
+        for i in range(len(recs)):
+            for j in range(i + 1, len(recs)):
+                if pair_interacts(recs[i], recs[j]):
+                    pair = (recs[i], recs[j])
+                    break
+            if pair:
+                break
+        if pair is None:
+            pytest.skip("no interacting pair in fixture sample")
+        ca_a, ca_b = predictor.native_pose(*pair)
+        assert interface_contacts(ca_a, ca_b) > 0
+        # Steric: docked chains must not interpenetrate badly.
+        from scipy.spatial import cKDTree
+
+        d_min = float(cKDTree(ca_b).query(ca_a, k=1)[0].min())
+        assert d_min > 3.0
+
+    def test_prediction_shape(self, complex_setup):
+        predictor, recs, feats = complex_setup
+        a, b = recs[0], recs[1]
+        cp = predictor.predict(feats[a.record_id], feats[b.record_id])
+        assert len(cp.structure) == a.length + b.length
+        assert cp.chain_break == a.length
+        assert cp.chain_a.shape == (a.length, 3)
+        assert cp.chain_b.shape == (b.length, 3)
+        assert 0.0 <= cp.interface_score <= 1.0
+
+    def test_deterministic(self, complex_setup):
+        predictor, recs, feats = complex_setup
+        a, b = recs[0], recs[2]
+        c1 = predictor.predict(feats[a.record_id], feats[b.record_id])
+        c2 = predictor.predict(feats[a.record_id], feats[b.record_id])
+        assert c1.interface_score == c2.interface_score
+        np.testing.assert_array_equal(c1.structure.ca, c2.structure.ca)
+
+    def test_discrimination(self, complex_setup):
+        """True pairs must score above non-pairs — the interactome-screen
+        property AF2Complex relies on."""
+        predictor, recs, feats = complex_setup
+        true_scores, false_scores = [], []
+        for i in range(len(recs)):
+            for j in range(i + 1, len(recs)):
+                cp = predictor.predict(
+                    feats[recs[i].record_id], feats[recs[j].record_id]
+                )
+                (true_scores if cp.truly_interacting else false_scores).append(
+                    cp.interface_score
+                )
+        assert false_scores, "fixture produced no non-interacting pairs"
+        assert np.mean(false_scores) < 0.15
+        if true_scores:
+            assert np.mean(true_scores) > np.mean(false_scores) + 0.15

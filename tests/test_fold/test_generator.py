@@ -1,0 +1,102 @@
+"""Native factory tests: family folds, member divergence, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.fold import NativeFactory, smooth_chain_noise
+from repro.sequences import SequenceUniverse
+from repro.structure import tm_score
+
+
+class TestSmoothNoise:
+    def test_rms_matches_sigma(self, rng):
+        noise = smooth_chain_noise(500, rng, sigma=2.0)
+        rms = np.sqrt((noise**2).sum(axis=1).mean())
+        assert rms == pytest.approx(2.0, rel=1e-9)
+
+    def test_spatial_correlation(self, rng):
+        noise = smooth_chain_noise(1000, rng, sigma=1.0, window=15)
+        # Neighbouring displacements should be strongly correlated.
+        corr = np.corrcoef(noise[:-1, 0], noise[1:, 0])[0, 1]
+        assert corr > 0.7
+
+    def test_empty(self, rng):
+        assert smooth_chain_noise(0, rng, sigma=1.0).shape == (0, 3)
+
+
+class TestNativeFactory:
+    def test_native_deterministic_across_instances(self, universe, proteome):
+        rec = proteome[0]
+        a = NativeFactory(universe).native(rec)
+        b = NativeFactory(universe).native(rec)
+        np.testing.assert_array_equal(a.ca, b.ca)
+
+    def test_native_cached(self, factory, proteome):
+        rec = proteome[0]
+        assert factory.native(rec) is factory.native(rec)
+
+    def test_native_matches_record(self, factory, proteome):
+        rec = proteome[1]
+        native = factory.native(rec)
+        assert len(native) == rec.length
+        assert native.record_id == rec.record_id
+        assert native.model_name == "native"
+
+    def test_family_members_fold_alike(self, universe):
+        """Same family, low divergence -> high structural similarity."""
+        from repro.sequences import ProteinRecord
+
+        factory = NativeFactory(universe)
+        fam = universe.family(123)
+        recs = [
+            ProteinRecord(
+                record_id=f"m{i}",
+                encoded=universe.member(fam, 0.08, member_seed=i, indel_rate=0.0),
+                family_id=fam.family_id,
+                divergence=0.08,
+            )
+            for i in range(2)
+        ]
+        a, b = factory.native(recs[0]), factory.native(recs[1])
+        assert tm_score(a.ca, b.ca) > 0.7
+
+    def test_divergence_reduces_similarity(self, universe):
+        from repro.sequences import ProteinRecord
+
+        factory = NativeFactory(universe)
+        fam = universe.family(124)
+        base = factory.family_fold(fam.fold_seed, fam.length)
+
+        def member_native(div, i):
+            rec = ProteinRecord(
+                record_id=f"d{div}_{i}",
+                encoded=universe.member(fam, div, member_seed=i, indel_rate=0.0),
+                family_id=fam.family_id,
+                divergence=div,
+            )
+            return factory.native(rec)
+
+        close = tm_score(member_native(0.05, 0).ca, base)
+        far = tm_score(member_native(0.5, 1).ca, base)
+        assert close > far
+
+    def test_orphans_fold_uniquely(self, universe, proteome):
+        factory = NativeFactory(universe)
+        orphans = [r for r in proteome if r.family_id is None][:2]
+        if len(orphans) < 2:
+            pytest.skip("fixture has < 2 orphans")
+        a, b = factory.native(orphans[0]), factory.native(orphans[1])
+        n = min(len(a), len(b))
+        assert tm_score(a.ca[:n], b.ca[:n]) < 0.5
+
+    def test_ss_labels_available(self, factory, proteome):
+        rec = proteome[2]
+        labels = factory.native_ss_labels(rec)
+        assert labels.size == rec.length
+        assert set(np.unique(labels)) <= {0, 1, 2}
+
+    def test_clear_cache(self, universe, proteome):
+        factory = NativeFactory(universe)
+        factory.native(proteome[0])
+        factory.clear_cache()
+        assert factory._native_cache == {}

@@ -1,0 +1,132 @@
+"""Geometry tests: chain building, compaction, overlap resolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fold.geometry import (
+    CA_BOND,
+    build_ca_chain,
+    compact_chain,
+    resolve_overlaps,
+    ss_segments,
+    target_radius_of_gyration,
+    torsions_for_segments,
+)
+from repro.sequences import rng_for
+from repro.structure import pairwise_distances
+
+
+class TestSegments:
+    def test_cover_length_exactly(self):
+        rng = rng_for(0, "seg")
+        for length in (1, 7, 50, 333):
+            segs = ss_segments(length, rng)
+            assert sum(n for _, n in segs) == length
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ss_segments(0, rng_for(0, "seg"))
+
+    def test_alternates_regular_and_coil(self):
+        segs = ss_segments(200, rng_for(1, "seg"))
+        kinds = [k for k, _ in segs]
+        for a, b in zip(kinds, kinds[1:]):
+            if a in "HE":
+                assert b == "C"
+
+    def test_helix_bias(self):
+        rng_h = rng_for(2, "seg")
+        rng_e = rng_for(2, "seg")
+        helices = sum(
+            n for k, n in ss_segments(5000, rng_h, helix_bias=0.95) if k == "H"
+        )
+        strands = sum(
+            n for k, n in ss_segments(5000, rng_e, helix_bias=0.05) if k == "E"
+        )
+        assert helices > 2000 and strands > 1200
+
+
+class TestChainBuilding:
+    def test_bond_lengths_exact(self):
+        rng = rng_for(3, "chain")
+        segs = ss_segments(150, rng)
+        angles, torsions, labels = torsions_for_segments(segs, rng)
+        chain = build_ca_chain(angles, torsions)
+        bonds = np.linalg.norm(np.diff(chain, axis=0), axis=1)
+        np.testing.assert_allclose(bonds, CA_BOND, atol=1e-9)
+        assert labels.size == 150
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            build_ca_chain(np.zeros(5), np.zeros(4))
+
+    def test_angles_clipped_protect_i_plus_2(self):
+        rng = rng_for(4, "chain")
+        segs = ss_segments(400, rng)
+        angles, torsions, _ = torsions_for_segments(segs, rng)
+        chain = build_ca_chain(angles, torsions)
+        d2 = np.linalg.norm(chain[2:] - chain[:-2], axis=1)
+        assert d2.min() > 3.6  # above the bump cutoff by construction
+
+
+class TestCompaction:
+    @pytest.mark.parametrize("length", [80, 250, 700])
+    def test_compact_globule(self, length):
+        rng = rng_for(5, "compact", length)
+        segs = ss_segments(length, rng)
+        angles, torsions, _ = torsions_for_segments(segs, rng)
+        chain = build_ca_chain(angles, torsions)
+        folded = compact_chain(chain, rng)
+        rg = np.sqrt(((folded - folded.mean(0)) ** 2).sum(1).mean())
+        # Within ~2.2x of the empirical globular target (coarse model).
+        assert rg < 2.2 * target_radius_of_gyration(length) + 4.0
+        bonds = np.linalg.norm(np.diff(folded, axis=0), axis=1)
+        assert abs(bonds.mean() - CA_BOND) < 0.15
+        assert bonds.std() < 0.3
+
+    def test_no_violations_after_compaction(self):
+        rng = rng_for(6, "compact")
+        segs = ss_segments(300, rng)
+        angles, torsions, _ = torsions_for_segments(segs, rng)
+        folded = compact_chain(build_ca_chain(angles, torsions), rng)
+        d = pairwise_distances(folded)
+        iu = np.triu_indices(300, k=3)
+        assert d[iu].min() > 3.6
+
+    def test_short_chain_passthrough(self):
+        rng = rng_for(7, "compact")
+        tiny = np.zeros((3, 3))
+        out = compact_chain(tiny, rng)
+        np.testing.assert_array_equal(out, tiny)
+
+
+class TestResolveOverlaps:
+    def test_separates_overlapping_pair(self):
+        coords = np.zeros((10, 3))
+        coords[:, 0] = np.arange(10) * 3.8
+        coords[7] = coords[0] + np.array([0.5, 0.5, 0.0])
+        fixed = resolve_overlaps(coords)
+        assert np.linalg.norm(fixed[7] - fixed[0]) >= 3.6
+
+    def test_clean_input_unchanged(self):
+        coords = np.zeros((10, 3))
+        coords[:, 0] = np.arange(10) * 3.8
+        fixed = resolve_overlaps(coords)
+        np.testing.assert_allclose(fixed, coords)
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_always_resolves_random_clusters(self, seed):
+        rng = np.random.default_rng(seed)
+        coords = rng.normal(scale=6.0, size=(40, 3))
+        fixed = resolve_overlaps(coords)
+        d = pairwise_distances(fixed)
+        iu = np.triu_indices(40, k=3)
+        assert d[iu].min() >= 3.6
+
+
+def test_target_rg_scaling():
+    assert target_radius_of_gyration(100) == pytest.approx(2.2 * 100**0.38)
+    assert target_radius_of_gyration(800) > target_radius_of_gyration(100)

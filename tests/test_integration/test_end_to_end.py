@@ -1,0 +1,116 @@
+"""End-to-end integration: the full pipeline on a tiny proteome,
+including the real threaded dataflow executor and FASTA/PDB hand-offs
+between stages (the paper's decoupled-stage deployment in miniature).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ProteomePipeline, get_preset
+from repro.dataflow import ThreadedExecutor
+from repro.fold import NativeFactory, default_model_bank
+from repro.msa import build_suite, generate_features
+from repro.relax import count_violations, relax_structure
+from repro.sequences import (
+    SequenceUniverse,
+    read_fasta,
+    synthetic_proteome,
+    write_fasta,
+)
+from repro.structure import read_pdb, tm_score, write_pdb
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    uni = SequenceUniverse(29)
+    prot = synthetic_proteome("P_mercurii", universe=uni, seed=29, scale=0.003)
+    suite = build_suite(uni, ["P_mercurii"], seed=29, scale=0.003)
+    return uni, prot, suite
+
+
+def test_fasta_handoff_between_stages(tiny, tmp_path):
+    """Stage decoupling: sequences written by one stage, read by the next."""
+    _, prot, suite = tiny
+    fasta = tmp_path / "targets.fasta"
+    write_fasta(list(prot), fasta)
+    records = read_fasta(fasta)
+    assert len(records) == len(prot)
+    bundle = generate_features(records[0], suite)
+    assert bundle.record_id == prot[0].record_id
+
+
+def test_threaded_executor_runs_real_predictions(tiny):
+    """The real (non-simulated) dataflow path executes the surrogate."""
+    uni, prot, suite = tiny
+    factory = NativeFactory(uni)
+    bank = default_model_bank(factory)
+    config = get_preset("reduced_db").config()
+    features = {r.record_id: generate_features(r, suite) for r in prot[:4]}
+
+    def task(payload):
+        record_id, model_index = payload
+        return bank[model_index].predict(features[record_id], config)
+
+    items = [
+        (f"{rid}/m{m}", (rid, m), features[rid].length)
+        for rid in features
+        for m in range(5)
+    ]
+    result = ThreadedExecutor(n_workers=4).map(task, items)
+    assert result.n_failed == 0
+    assert len(result.results) == 20
+    # Rank per target exactly as the pipeline would.
+    for rid in features:
+        preds = [result.results[f"{rid}/m{m}"] for m in range(5)]
+        top = max(preds, key=lambda p: p.ptms)
+        assert top.structure.record_id == rid
+
+
+def test_pipeline_to_pdb_roundtrip(tiny, tmp_path):
+    uni, prot, suite = tiny
+    factory = NativeFactory(uni)
+    pipeline = ProteomePipeline(
+        preset_name="genome", feature_nodes=2, inference_nodes=1, relax_nodes=1
+    )
+    result = pipeline.run(prot[:3], suite, factory)
+    for rid, outcome in result.relax_stage.outcomes.items():
+        path = tmp_path / f"{rid}.pdb"
+        write_pdb(outcome.structure, path)
+        back = read_pdb(path)
+        assert back.sequence == outcome.structure.sequence
+        assert count_violations(back).n_clashes == 0
+
+
+def test_quality_chain_consistency(tiny):
+    """Prediction -> relaxation preserves the truth chain: the relaxed
+    model scores the same against the hidden native."""
+    uni, prot, suite = tiny
+    factory = NativeFactory(uni)
+    bank = default_model_bank(factory)
+    config = get_preset("genome").config()
+    rec = prot[0]
+    pred = bank[2].predict(generate_features(rec, suite), config)
+    native = factory.native(rec)
+    assert pred.true_tm == pytest.approx(
+        tm_score(pred.structure.ca, native.ca), abs=1e-9
+    )
+    relaxed = relax_structure(pred.structure, "gpu")
+    assert tm_score(relaxed.structure.ca, native.ca) >= pred.true_tm - 0.01
+
+
+def test_deterministic_pipeline(tiny):
+    """Two identical pipeline runs agree exactly."""
+    uni, prot, suite = tiny
+    p1 = ProteomePipeline(feature_nodes=2, inference_nodes=1, relax_nodes=1)
+    p2 = ProteomePipeline(feature_nodes=2, inference_nodes=1, relax_nodes=1)
+    r1 = p1.run(prot[:2], suite, NativeFactory(uni))
+    r2 = p2.run(prot[:2], suite, NativeFactory(uni))
+    for rid in r1.inference_stage.top_models:
+        a = r1.inference_stage.top_models[rid]
+        b = r2.inference_stage.top_models[rid]
+        assert a.ptms == b.ptms
+        np.testing.assert_array_equal(a.structure.ca, b.structure.ca)
+    assert (
+        r1.inference_stage.simulation.walltime_seconds
+        == r2.inference_stage.simulation.walltime_seconds
+    )

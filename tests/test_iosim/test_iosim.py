@@ -1,0 +1,76 @@
+"""I/O contention and replication model tests."""
+
+import pytest
+
+from repro.constants import FULL_DATASET_BYTES, REDUCED_DATASET_BYTES
+from repro.iosim import (
+    FilesystemSpec,
+    ReplicationPlan,
+    contention_factor,
+    dcp_copy_seconds,
+    paper_plan,
+)
+
+
+class TestContention:
+    def test_uncontended_at_paper_layout(self):
+        # 24 replicas x 4 jobs: the design point — no slowdown.
+        assert contention_factor(96, 24) == pytest.approx(1.0)
+
+    def test_fewer_replicas_slower(self):
+        few = contention_factor(96, 4)
+        many = contention_factor(96, 24)
+        assert few > many
+
+    def test_metadata_wall_at_high_job_counts(self):
+        # Even with plenty of replicas, enough jobs saturate metadata.
+        assert contention_factor(1000, 250) > 1.5
+
+    def test_monotone_in_jobs(self):
+        factors = [contention_factor(j, 24) for j in (24, 96, 240, 960)]
+        assert all(b >= a for a, b in zip(factors, factors[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            contention_factor(0, 24)
+        with pytest.raises(ValueError):
+            contention_factor(10, 0)
+        with pytest.raises(ValueError):
+            FilesystemSpec(metadata_ops_per_second=0)
+
+
+class TestReplication:
+    def test_paper_plan_layout(self):
+        plan = paper_plan(REDUCED_DATASET_BYTES)
+        assert plan.n_replicas == 24
+        assert plan.jobs_per_replica == 4
+        assert plan.n_concurrent_jobs == 96
+        assert plan.contention() == pytest.approx(1.0)
+
+    def test_storage_footprint(self):
+        plan = paper_plan(REDUCED_DATASET_BYTES)
+        assert plan.storage_bytes == 24 * REDUCED_DATASET_BYTES
+        # Full-dataset replication is 5x the storage — the reason the
+        # paper moved to the reduced dataset.
+        full = paper_plan(FULL_DATASET_BYTES)
+        assert full.storage_bytes == 5 * plan.storage_bytes
+
+    def test_copy_time_scales(self):
+        slow = dcp_copy_seconds(REDUCED_DATASET_BYTES, 1)
+        fast = dcp_copy_seconds(REDUCED_DATASET_BYTES, 16)
+        assert slow > fast
+        # Aggregate bandwidth cap: more movers eventually stop helping.
+        assert dcp_copy_seconds(REDUCED_DATASET_BYTES, 64) == pytest.approx(
+            dcp_copy_seconds(REDUCED_DATASET_BYTES, 32)
+        )
+
+    def test_replication_time_full_vs_reduced(self):
+        reduced = paper_plan(REDUCED_DATASET_BYTES).replication_seconds()
+        full = paper_plan(FULL_DATASET_BYTES).replication_seconds()
+        assert full == pytest.approx(5 * reduced)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplicationPlan(1, 0, 4)
+        with pytest.raises(ValueError):
+            dcp_copy_seconds(100, 0)

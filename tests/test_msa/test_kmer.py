@@ -1,0 +1,93 @@
+"""K-mer index tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.msa import KmerIndex, kmer_codes
+from repro.sequences import encode, mutate_sequence, random_sequence
+
+
+def test_kmer_codes_count():
+    seq = encode("ACDEFGHIKL")
+    codes = kmer_codes(seq, k=5)
+    assert codes.size == 6
+
+
+def test_kmer_codes_short_sequence_empty():
+    assert kmer_codes(encode("ACD"), k=5).size == 0
+
+
+def test_kmer_codes_deterministic_and_positional():
+    a = kmer_codes(encode("ACDEFG"), k=3)
+    b = kmer_codes(encode("ACDEFG"), k=3)
+    assert (a == b).all()
+    # shifted window -> different code unless sequence repeats
+    assert a[0] != a[1]
+
+
+def test_identical_kmers_share_codes():
+    codes = kmer_codes(encode("ACDACD"), k=3)
+    assert codes[0] == codes[3]
+
+
+class TestKmerIndex:
+    def _build(self, seqs):
+        idx = KmerIndex()
+        for i, s in enumerate(seqs):
+            idx.add(i, s)
+        idx.freeze()
+        return idx
+
+    def test_self_containment_is_one(self, rng):
+        seq = random_sequence(200, rng)
+        idx = self._build([seq])
+        assert idx.containment(seq)[0] == pytest.approx(1.0)
+
+    def test_unrelated_containment_near_zero(self, rng):
+        a = random_sequence(300, rng)
+        b = random_sequence(300, rng)
+        idx = self._build([b])
+        assert idx.containment(a)[0] < 0.01
+
+    def test_homolog_containment_tracks_identity(self, rng):
+        ancestor = random_sequence(400, rng)
+        close = mutate_sequence(ancestor, rng, 0.1, indel_rate=0.0)
+        far = mutate_sequence(ancestor, rng, 0.5, indel_rate=0.0)
+        idx = self._build([close, far])
+        sims = idx.containment(ancestor)
+        assert sims[0] > sims[1] > 0.0
+
+    def test_requires_consecutive_ids(self, rng):
+        idx = KmerIndex()
+        idx.add(0, random_sequence(50, rng))
+        with pytest.raises(ValueError):
+            idx.add(2, random_sequence(50, rng))
+
+    def test_frozen_rejects_add(self, rng):
+        idx = self._build([random_sequence(50, rng)])
+        with pytest.raises(RuntimeError):
+            idx.add(1, random_sequence(50, rng))
+
+    def test_count_hits_shape(self, rng):
+        seqs = [random_sequence(100, rng) for _ in range(5)]
+        idx = self._build(seqs)
+        hits = idx.count_hits(seqs[0])
+        assert hits.shape == (5,)
+        assert hits[0] == idx.kmer_count(0)
+
+    @given(rate=st.floats(0.0, 0.6), seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_containment_inverts_to_identity(self, rate, seed):
+        rng = np.random.default_rng(seed)
+        ancestor = random_sequence(600, rng)
+        mutant = mutate_sequence(ancestor, rng, rate, indel_rate=0.0)
+        idx = KmerIndex()
+        idx.add(0, mutant)
+        idx.freeze()
+        containment = float(idx.containment(ancestor)[0])
+        estimated = containment ** (1 / 5) if containment > 0 else 0.0
+        true_identity = float((ancestor == mutant).mean())
+        if true_identity > 0.5:
+            assert estimated == pytest.approx(true_identity, abs=0.12)

@@ -1,0 +1,135 @@
+"""Homology search and library tests."""
+
+import numpy as np
+import pytest
+
+from repro.msa import (
+    build_suite,
+    generate_features,
+    search_library,
+    search_suite,
+)
+from repro.sequences import SequenceUniverse, random_sequence
+
+
+class TestLibraries:
+    def test_suite_covers_species_families(self, suite, proteome, universe):
+        fids = {
+            e.family_id for lib in suite.libraries for e in lib.entries
+        } - {None}
+        member_fids = {r.family_id for r in proteome if r.family_id is not None}
+        # Families absent from the libraries must be exactly the ones
+        # with zero multiplicity (unsequenced-elsewhere families).
+        missing = member_fids - fids
+        assert all(
+            universe.family(fid).library_multiplicity == 0 for fid in missing
+        )
+        assert len(member_fids & fids) > 0
+
+    def test_bfd_is_largest(self, suite):
+        assert suite.bfd.modeled_bytes == max(
+            lib.modeled_bytes for lib in suite.libraries
+        )
+
+    def test_reduced_suite_smaller_same_coverage(self, suite):
+        reduced = suite.reduced()
+        assert len(reduced.bfd) < len(suite.bfd)
+        assert reduced.bfd.modeled_bytes < suite.bfd.modeled_bytes
+        full_fams = {e.family_id for e in suite.bfd.entries} - {None}
+        red_fams = {e.family_id for e in reduced.bfd.entries} - {None}
+        assert red_fams == full_fams  # dedup preserves family coverage
+
+    def test_pdb_library_annotated_only(self, suite):
+        assert all(e.annotated for e in suite.pdb_seqs.entries)
+
+    def test_deterministic(self, universe):
+        s1 = build_suite(universe, ["D_vulgaris"], seed=7, scale=0.02)
+        s2 = build_suite(universe, ["D_vulgaris"], seed=7, scale=0.02)
+        assert [e.entry_id for e in s1.bfd.entries] == [
+            e.entry_id for e in s2.bfd.entries
+        ]
+
+
+class TestSearch:
+    def test_family_member_found(self, universe, proteome, suite):
+        rec = next(r for r in proteome if r.family_id is not None)
+        result = search_suite(rec, suite)
+        assert result.msa_depth > 0
+        hit_fams = {h.entry.family_id for h in result.hits}
+        assert rec.family_id in hit_fams
+
+    def test_orphan_finds_nothing(self, universe, proteome, suite):
+        rec = next(r for r in proteome if r.family_id is None)
+        result = search_suite(rec, suite)
+        # Chance hits only: a handful of marginal matches at most, and
+        # essentially no usable MSA signal.
+        assert result.msa_depth <= 6
+        assert result.effective_depth() < 5.0
+
+    def test_hits_sorted_by_identity(self, proteome, suite):
+        rec = max(
+            (r for r in proteome if r.family_id is not None),
+            key=lambda r: r.length,
+        )
+        result = search_suite(rec, suite)
+        ids = [h.identity for h in result.hits]
+        assert ids == sorted(ids, reverse=True)
+
+    def test_short_query_rejected(self, suite):
+        from repro.sequences import ProteinRecord, encode
+
+        rec = ProteinRecord(record_id="tiny", encoded=encode("ACD"))
+        with pytest.raises(ValueError):
+            search_suite(rec, suite)
+
+    def test_io_accounting_positive(self, proteome, suite):
+        result = search_suite(proteome[0], suite)
+        assert result.n_file_reads > 0
+        assert result.bytes_scanned > 0
+
+    def test_empty_library(self, rng):
+        from repro.msa.databases import SequenceLibrary
+
+        lib = SequenceLibrary("empty", [], modeled_bytes=0)
+        hits, scanned = search_library(random_sequence(100, rng), lib)
+        assert hits == [] and scanned == 0
+
+    def test_effective_depth_discounts_redundancy(self, proteome, suite):
+        rec = next(r for r in proteome if r.family_id is not None)
+        result = search_suite(rec, suite)
+        if result.msa_depth:
+            assert 0.0 < result.effective_depth() <= result.msa_depth
+
+
+class TestFeatures:
+    def test_bundle_fields(self, proteome, suite):
+        rec = proteome[0]
+        bundle = generate_features(rec, suite)
+        assert bundle.record_id == rec.record_id
+        assert bundle.length == rec.length
+        assert bundle.msa_depth >= 0
+        assert bundle.effective_depth >= 0.0
+        assert bundle.n_file_reads > 0
+
+    def test_templates_only_from_pdb(self, proteome, suite):
+        for rec in list(proteome)[:10]:
+            bundle = generate_features(rec, suite)
+            if bundle.has_templates:
+                assert bundle.best_template_identity >= 0.3
+                assert bundle.best_template_family is not None
+                return
+        pytest.skip("no template hit in first 10 records of fixture")
+
+    def test_reduced_suite_preserves_effective_depth(self, universe, proteome, suite):
+        # §4.1: the reduced dataset yields virtually identical MSA signal.
+        reduced = suite.reduced()
+        deltas = []
+        for rec in list(proteome)[:12]:
+            if rec.family_id is None:
+                continue
+            full_d = generate_features(rec, suite).effective_depth
+            red_d = generate_features(rec, reduced).effective_depth
+            if full_d > 0:
+                deltas.append(abs(red_d - full_d) / full_d)
+        assert deltas, "no family members sampled"
+        assert float(np.median(deltas)) < 0.35

@@ -1,0 +1,74 @@
+"""Force field: analytic gradient checks and term behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.relax import ForceField, ForceFieldParams, prepare_system
+from repro.structure import Structure
+
+
+@pytest.fixture()
+def small_system(factory, proteome):
+    rec = min(proteome, key=lambda r: r.length)
+    native = factory.native(rec)
+    rng = np.random.default_rng(3)
+    noisy = native.with_coordinates(native.ca + rng.normal(0, 0.8, native.ca.shape))
+    return prepare_system(noisy, rng=rng)
+
+
+def test_gradient_matches_finite_differences(small_system):
+    ff = ForceField(small_system)
+    x = small_system.particles.copy()
+    e0, g = ff.energy_and_gradient(x)
+    rng = np.random.default_rng(0)
+    h = 1e-6
+    for _ in range(10):
+        i = rng.integers(0, x.shape[0])
+        k = rng.integers(0, 3)
+        xp = x.copy()
+        xp[i, k] += h
+        num = (ff.energy(xp) - e0) / h
+        assert num == pytest.approx(g[i, k], rel=2e-3, abs=2e-3)
+
+
+def test_energy_nonnegative_terms(small_system):
+    ff = ForceField(small_system)
+    # At the reference coordinates the restraint term is zero, so the
+    # energy equals bonded+geometry+repulsion, all nonnegative.
+    assert ff.energy(small_system.particles) >= 0.0
+
+
+def test_restraint_pulls_back(small_system):
+    ff = ForceField(small_system)
+    shifted = small_system.particles + 1.0
+    e_ref = ff.energy(small_system.particles)
+    # Refresh the neighbour list (and frozen CB frame) at the shifted
+    # coordinates so the only term that differs is the restraint.
+    ff.rebuild_neighbors(shifted)
+    e_shift = ff.energy(shifted)
+    # Rigid shift changes only the restraint term: k * N * |d|^2.
+    n = small_system.particles.shape[0]
+    expected = ff.params.k_restraint * n * 3.0
+    assert e_shift - e_ref == pytest.approx(expected, rel=1e-9)
+
+
+def test_shape_mismatch_raises(small_system):
+    ff = ForceField(small_system)
+    with pytest.raises(ValueError):
+        ff.energy(small_system.particles[:-1])
+
+
+def test_clash_raises_energy(small_system):
+    ff = ForceField(small_system)
+    x = small_system.particles.copy()
+    e0 = ff.energy(x)
+    # Slam residue 0 onto residue 10 -> excluded-volume penalty.
+    n = small_system.n_residues
+    x[0] = x[min(10, n - 1)] + 0.3
+    ff.rebuild_neighbors(x)
+    assert ff.energy(x) > e0
+
+
+def test_params_defaults_match_paper():
+    p = ForceFieldParams()
+    assert p.k_restraint == 10.0  # kcal/mol/A^2, paper §3.2.3

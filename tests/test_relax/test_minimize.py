@@ -1,0 +1,87 @@
+"""Minimiser and MM-system preparation tests."""
+
+import numpy as np
+import pytest
+
+from repro.constants import RELAX_ENERGY_TOLERANCE_KCAL
+from repro.relax import minimize_system, prepare_system
+from repro.relax.forcefield import ForceField
+from repro.structure import Structure
+
+
+@pytest.fixture()
+def noisy_structure(factory, proteome):
+    rec = min(proteome, key=lambda r: r.length)
+    native = factory.native(rec)
+    rng = np.random.default_rng(8)
+    return native.with_coordinates(
+        native.ca + rng.normal(0, 1.0, native.ca.shape)
+    )
+
+
+class TestPrepareSystem:
+    def test_particle_layout(self, noisy_structure):
+        system = prepare_system(noisy_structure)
+        n = len(noisy_structure)
+        assert system.particles.shape == (2 * n, 3)
+        np.testing.assert_array_equal(system.ca, noisy_structure.ca)
+        assert system.n_heavy_atoms > 4 * n
+        assert system.n_hydrogens > 0
+
+    def test_reference_is_snapshot(self, noisy_structure):
+        system = prepare_system(noisy_structure)
+        np.testing.assert_array_equal(system.reference, system.particles)
+        moved = system.with_particles(system.particles + 1.0)
+        np.testing.assert_array_equal(moved.reference, system.reference)
+
+    def test_cb_noise_reproducible(self, noisy_structure):
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        a = prepare_system(noisy_structure, rng=rng1)
+        b = prepare_system(noisy_structure, rng=rng2)
+        np.testing.assert_array_equal(a.particles, b.particles)
+
+    def test_to_structure_preserves_metadata(self, noisy_structure):
+        system = prepare_system(noisy_structure.with_plddt(np.full(len(noisy_structure), 80.0)))
+        out = system.to_structure(model_name="relaxed")
+        assert out.model_name == "relaxed"
+        assert out.plddt is not None
+
+
+class TestMinimize:
+    def test_energy_decreases_to_convergence(self, noisy_structure):
+        system = prepare_system(noisy_structure)
+        result = minimize_system(system)
+        assert result.final_energy < result.initial_energy
+        assert result.converged
+        assert result.n_rounds >= 1
+
+    def test_reminimisation_changes_little(self, noisy_structure):
+        system = prepare_system(noisy_structure)
+        once = minimize_system(system)
+        twice = minimize_system(once.system.with_particles(once.system.particles))
+        # Re-minimising a minimised system recovers a tiny fraction of
+        # the original drop and barely moves the coordinates — the
+        # mechanism behind the paper's "extra AF2 passes are
+        # unnecessary" finding.
+        assert twice.energy_drop < 0.02 * once.energy_drop
+        disp = np.linalg.norm(
+            twice.system.particles - once.system.particles, axis=1
+        )
+        assert np.median(disp) < 0.2
+
+    def test_custom_tolerance(self, noisy_structure):
+        system = prepare_system(noisy_structure)
+        tight = minimize_system(system, energy_tolerance=0.01, max_rounds=50)
+        loose = minimize_system(system, energy_tolerance=100.0)
+        assert tight.final_energy <= loose.final_energy + 1e-6
+        assert tight.n_steps >= loose.n_steps
+
+    def test_gradient_consistency_across_rounds(self, noisy_structure):
+        # The frozen CB frame is refreshed each round; energies must be
+        # comparable across the rebuild (no jumps upward).
+        system = prepare_system(noisy_structure)
+        result = minimize_system(system)
+        ff = ForceField(result.system)
+        final_e = ff.energy(result.system.particles)
+        assert final_e <= result.initial_energy

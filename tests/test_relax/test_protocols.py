@@ -1,0 +1,116 @@
+"""Protocol-level relaxation tests: the paper's §4.4 claims in miniature."""
+
+import numpy as np
+import pytest
+
+from repro.fold import NativeFactory, PredictionConfig, SurrogateFoldModel
+from repro.msa import generate_features
+from repro.relax import (
+    AlphaFoldRelaxProtocol,
+    SinglePassRelaxProtocol,
+    count_violations,
+    minimize_system,
+    prepare_system,
+    relax_structure,
+)
+from repro.structure import specs_score, tm_score
+
+
+@pytest.fixture(scope="module")
+def predictions(universe, proteome, suite):
+    """A handful of unrelaxed model structures plus their natives."""
+    factory = NativeFactory(universe)
+    model = SurrogateFoldModel(factory, 2)
+    cfg = PredictionConfig(max_recycles=3)
+    out = []
+    for rec in list(proteome)[:6]:
+        features = generate_features(rec, suite)
+        pred = model.predict(features, cfg)
+        out.append((pred.structure, factory.native(rec)))
+    return out
+
+
+def test_minimize_converges(predictions):
+    structure, _ = predictions[0]
+    result = minimize_system(prepare_system(structure))
+    assert result.converged
+    assert result.final_energy <= result.initial_energy
+    assert result.n_steps > 0
+
+
+def test_single_pass_removes_all_clashes(predictions):
+    for structure, _ in predictions:
+        outcome = SinglePassRelaxProtocol(device="gpu").run(structure)
+        assert outcome.violations_after.n_clashes == 0
+        assert outcome.n_minimizations == 1
+
+
+def test_relaxation_reduces_bumps(predictions):
+    before = after = 0
+    for structure, _ in predictions:
+        outcome = SinglePassRelaxProtocol().run(structure)
+        before += outcome.violations_before.n_bumps
+        after += outcome.violations_after.n_bumps
+    assert after < before
+
+
+def test_tm_score_never_decreases_materially(predictions):
+    for structure, native in predictions:
+        outcome = relax_structure(structure, "gpu")
+        tm_before = tm_score(structure.ca, native.ca)
+        tm_after = tm_score(outcome.structure.ca, native.ca)
+        assert tm_after >= tm_before - 0.01
+
+
+def test_specs_preserved(predictions):
+    for structure, native in predictions:
+        outcome = relax_structure(structure, "cpu")
+        s_before = specs_score(structure.ca, native.ca)
+        s_after = specs_score(outcome.structure.ca, native.ca)
+        assert s_after >= s_before - 0.02
+
+
+def test_af2_protocol_equivalent_quality(predictions):
+    # The paper's central §4.4 claim: the AF2 loop and the single pass
+    # recover equivalent model quality.
+    structure, native = predictions[1]
+    ours = SinglePassRelaxProtocol().run(structure)
+    af2 = AlphaFoldRelaxProtocol().run(structure)
+    assert af2.violations_after.n_clashes == 0
+    tm_ours = tm_score(ours.structure.ca, native.ca)
+    tm_af2 = tm_score(af2.structure.ca, native.ca)
+    assert tm_af2 == pytest.approx(tm_ours, abs=0.02)
+
+
+def test_af2_protocol_costs_at_least_one_pass(predictions):
+    structure, _ = predictions[2]
+    af2 = AlphaFoldRelaxProtocol().run(structure)
+    ours = SinglePassRelaxProtocol().run(structure)
+    assert af2.n_minimizations >= ours.n_minimizations
+    assert af2.total_steps >= ours.total_steps
+
+
+def test_outcome_bookkeeping(predictions):
+    structure, _ = predictions[0]
+    outcome = relax_structure(structure, "gpu")
+    assert outcome.device == "gpu"
+    assert outcome.n_heavy_atoms > len(structure) * 4
+    assert outcome.n_hydrogens > 0
+    assert outcome.structure.record_id == structure.record_id
+    # pLDDT metadata must survive relaxation (it goes into the PDB).
+    assert outcome.structure.plddt is not None
+
+
+def test_relax_structure_dispatch_validates():
+    with pytest.raises(ValueError):
+        relax_structure(None, "tpu")
+
+
+def test_coordinates_move_only_slightly(predictions):
+    # Restraints keep the relaxed model near the prediction: small
+    # perturbations only (paper: "only small perturbations ... desired").
+    structure, _ = predictions[3]
+    outcome = relax_structure(structure, "gpu")
+    disp = np.linalg.norm(outcome.structure.ca - structure.ca, axis=1)
+    assert np.median(disp) < 1.0
+    assert disp.max() < 5.0

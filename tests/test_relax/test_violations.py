@@ -1,0 +1,86 @@
+"""Tests for clash/bump detection."""
+
+import numpy as np
+import pytest
+
+from repro.relax import ViolationReport, count_violations, is_clashed, violating_pairs
+from repro.structure import Structure
+
+
+def _line_chain(n, spacing=3.8):
+    coords = np.zeros((n, 3))
+    coords[:, 0] = np.arange(n) * spacing
+    return coords
+
+
+def test_straight_chain_clean():
+    report = count_violations(_line_chain(50))
+    assert report == ViolationReport(0, 0)
+    assert report.clean
+
+
+def test_single_bump_detected():
+    coords = _line_chain(10)
+    coords[9] = coords[0] + np.array([0.0, 3.0, 0.0])  # 3.0 A from residue 0
+    report = count_violations(coords)
+    assert report.n_bumps == 1
+    assert report.n_clashes == 0
+
+
+def test_single_clash_detected():
+    coords = _line_chain(10)
+    coords[9] = coords[0] + np.array([0.0, 1.0, 0.0])
+    report = count_violations(coords)
+    assert report.n_clashes == 1
+    # clashes are tallied separately from bumps
+    assert report.n_bumps == 0
+
+
+def test_adjacent_residues_excluded():
+    # Consecutive and i+2 residues can be close without violating.
+    coords = _line_chain(5, spacing=3.0)
+    assert count_violations(coords) == ViolationReport(0, 0)
+
+
+def test_min_separation_boundary():
+    # |i-j| == 3 counts; |i-j| == 2 does not.
+    coords = _line_chain(6, spacing=100.0)
+    coords[3] = coords[0] + np.array([0.0, 2.0, 0.0])
+    assert count_violations(coords).n_bumps + count_violations(coords).n_clashes == 1
+    coords2 = _line_chain(6, spacing=100.0)
+    coords2[2] = coords2[0] + np.array([0.0, 2.0, 0.0])
+    assert count_violations(coords2) == ViolationReport(0, 0)
+
+
+def test_clean_thresholds():
+    assert ViolationReport(4, 50).clean
+    assert not ViolationReport(5, 0).clean
+    assert not ViolationReport(0, 51).clean
+
+
+def test_is_clashed_on_structure():
+    coords = _line_chain(60)
+    # stack 10 residues onto residue 0 -> many clashes
+    coords[50:] = coords[0] + np.linspace(0, 1, 10)[:, None] * 0.1
+    enc = np.zeros(60, dtype=np.uint8)
+    s = Structure(record_id="x", encoded=enc, ca=coords)
+    assert is_clashed(s)
+
+
+def test_violating_pairs_shape_validation():
+    with pytest.raises(ValueError):
+        violating_pairs(np.zeros((5, 2)))
+
+
+def test_violating_pairs_small_input():
+    assert violating_pairs(np.zeros((1, 3))).shape == (0, 2)
+
+
+def test_natives_are_clean(factory, proteome):
+    # Violation-free natives are a design invariant: model error is the
+    # only source of clashes in the pipeline.
+    total = 0
+    for rec in list(proteome)[:8]:
+        report = count_violations(factory.native(rec))
+        total += report.n_clashes + report.n_bumps
+    assert total <= 2  # allow a stray bump across 8 structures

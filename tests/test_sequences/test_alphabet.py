@@ -1,0 +1,84 @@
+"""Unit tests for the amino-acid alphabet and encodings."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sequences import alphabet as ab
+from repro.sequences.alphabet import (
+    AMINO_ACIDS,
+    ALPHABET_SIZE,
+    decode,
+    encode,
+    heavy_atom_count,
+    hydrogen_count,
+    is_valid_sequence,
+    molecular_weight,
+)
+
+sequences = st.text(alphabet=AMINO_ACIDS, min_size=1, max_size=200)
+
+
+def test_alphabet_has_20_unique_residues():
+    assert ALPHABET_SIZE == 20
+    assert len(set(AMINO_ACIDS)) == 20
+
+
+def test_background_frequencies_normalised():
+    assert ab.BACKGROUND_FREQUENCIES.shape == (20,)
+    assert ab.BACKGROUND_FREQUENCIES.sum() == pytest.approx(1.0)
+    assert (ab.BACKGROUND_FREQUENCIES > 0).all()
+
+
+def test_encode_basic():
+    enc = encode("ACDEFGHIKLMNPQRSTVWY")
+    assert enc.dtype == np.uint8
+    assert (enc == np.arange(20)).all()
+
+
+def test_encode_rejects_nonstandard():
+    with pytest.raises(ValueError):
+        encode("ACDX")
+
+
+def test_decode_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        decode(np.array([200], dtype=np.uint8))
+
+
+@given(sequences)
+def test_encode_decode_roundtrip(seq):
+    assert decode(encode(seq)) == seq
+
+
+@given(sequences)
+def test_molecular_weight_positive_and_additive(seq):
+    enc = encode(seq)
+    mw = molecular_weight(enc)
+    # At least ~57 Da (glycine) per residue plus water.
+    assert mw >= 57.0 * len(seq)
+    assert mw <= 187.0 * len(seq) + 19.0
+
+
+def test_molecular_weight_empty():
+    assert molecular_weight(np.empty(0, dtype=np.uint8)) == 0.0
+
+
+@given(sequences)
+def test_heavy_atoms_bounds(seq):
+    enc = encode(seq)
+    n = heavy_atom_count(enc)
+    # Glycine has 4 heavy atoms, tryptophan 14, plus the terminal OXT.
+    assert 4 * len(seq) + 1 <= n <= 14 * len(seq) + 1
+
+
+@given(sequences)
+def test_hydrogen_count_positive(seq):
+    assert hydrogen_count(encode(seq)) >= 3 * len(seq)
+
+
+def test_is_valid_sequence():
+    assert is_valid_sequence("ACDEF")
+    assert not is_valid_sequence("ACDEF*")
+    assert not is_valid_sequence("acdef")

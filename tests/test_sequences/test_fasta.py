@@ -1,0 +1,85 @@
+"""FASTA round-trip and error handling tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sequences import (
+    AMINO_ACIDS,
+    ProteinRecord,
+    encode,
+    format_fasta,
+    parse_fasta,
+    read_fasta,
+    write_fasta,
+)
+
+
+def _rec(rid, seq, desc=""):
+    return ProteinRecord(record_id=rid, encoded=encode(seq), description=desc)
+
+
+def test_roundtrip_file(tmp_path, proteome):
+    path = tmp_path / "out.fasta"
+    records = list(proteome)[:10]
+    write_fasta(records, path)
+    back = read_fasta(path)
+    assert [r.record_id for r in back] == [r.record_id for r in records]
+    assert all((a.encoded == b.encoded).all() for a, b in zip(back, records))
+
+
+def test_description_preserved():
+    rec = _rec("id1", "ACDEF", "some description here")
+    parsed = list(parse_fasta(format_fasta([rec])))[0]
+    assert parsed.record_id == "id1"
+    assert parsed.description == "some description here"
+
+
+def test_long_sequences_wrapped():
+    rec = _rec("long", "A" * 150)
+    text = format_fasta([rec])
+    body = [l for l in text.splitlines() if not l.startswith(">")]
+    assert max(len(l) for l in body) == 60
+    assert "".join(body) == "A" * 150
+
+
+def test_parse_rejects_empty_sequence():
+    with pytest.raises(ValueError):
+        list(parse_fasta(">id1\n>id2\nACDEF\n"))
+
+
+def test_parse_rejects_headerless_data():
+    with pytest.raises(ValueError):
+        list(parse_fasta("ACDEF\n"))
+
+
+def test_parse_rejects_empty_header():
+    with pytest.raises(ValueError):
+        list(parse_fasta(">\nACDEF\n"))
+
+
+def test_parse_lowercase_normalised():
+    rec = list(parse_fasta(">x\nacdef\n"))[0]
+    assert rec.sequence == "ACDEF"
+
+
+def test_parse_skips_blank_lines():
+    recs = list(parse_fasta("\n>x\nAC\n\nDEF\n\n>y\nGGG\n"))
+    assert [r.sequence for r in recs] == ["ACDEF", "GGG"]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 10_000),
+            st.text(alphabet=AMINO_ACIDS, min_size=1, max_size=120),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_roundtrip_property(items):
+    records = [_rec(f"rec{i}_{rid}", seq) for i, (rid, seq) in enumerate(items)]
+    back = list(parse_fasta(format_fasta(records)))
+    assert [r.sequence for r in back] == [r.sequence for r in records]
+    assert [r.record_id for r in back] == [r.record_id for r in records]

@@ -1,0 +1,155 @@
+"""Unit and property tests for sequence generation and mutation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequences import (
+    SequenceUniverse,
+    mutate_sequence,
+    random_sequence,
+    rng_for,
+)
+from repro.sequences.generator import stable_hash
+
+
+class TestRngFor:
+    def test_deterministic(self):
+        a = rng_for(1, "x", 2).random(8)
+        b = rng_for(1, "x", 2).random(8)
+        assert (a == b).all()
+
+    def test_distinct_streams(self):
+        a = rng_for(1, "x").random(8)
+        b = rng_for(1, "y").random(8)
+        assert not (a == b).all()
+
+    def test_seed_matters(self):
+        assert not (rng_for(1, "x").random(4) == rng_for(2, "x").random(4)).all()
+
+
+class TestStableHash:
+    def test_deterministic_and_bounded(self):
+        h = stable_hash("abc", 42)
+        assert h == stable_hash("abc", 42)
+        assert 0 <= h < 2**31
+
+    def test_modulus(self):
+        for m in (7, 997, 10_000):
+            assert 0 <= stable_hash("s", modulus=m) < m
+
+    def test_different_inputs_differ(self):
+        assert stable_hash("a") != stable_hash("b")
+
+
+class TestRandomSequence:
+    def test_length_and_range(self, rng):
+        seq = random_sequence(500, rng)
+        assert seq.size == 500
+        assert seq.dtype == np.uint8
+        assert seq.max() < 20
+
+    def test_rejects_zero_length(self, rng):
+        with pytest.raises(ValueError):
+            random_sequence(0, rng)
+
+    def test_composition_roughly_background(self, rng):
+        seq = random_sequence(50_000, rng)
+        freq = np.bincount(seq, minlength=20) / seq.size
+        from repro.sequences.alphabet import BACKGROUND_FREQUENCIES
+
+        assert np.abs(freq - BACKGROUND_FREQUENCIES).max() < 0.01
+
+
+class TestMutateSequence:
+    def test_zero_rate_is_identity(self, rng):
+        seq = random_sequence(300, rng)
+        assert (mutate_sequence(seq, rng, 0.0) == seq).all()
+
+    def test_input_not_modified(self, rng):
+        seq = random_sequence(300, rng)
+        orig = seq.copy()
+        mutate_sequence(seq, rng, 0.5, indel_rate=0.05)
+        assert (seq == orig).all()
+
+    def test_rejects_bad_rate(self, rng):
+        seq = random_sequence(10, rng)
+        with pytest.raises(ValueError):
+            mutate_sequence(seq, rng, 1.5)
+
+    @given(rate=st.floats(0.05, 0.9), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_divergence_tracks_rate(self, rate, seed):
+        rng = np.random.default_rng(seed)
+        seq = random_sequence(2000, rng)
+        mut = mutate_sequence(seq, rng, rate)
+        observed = float((mut != seq).mean())
+        # Substitutions resample from background: expected observed
+        # change rate is rate * (1 - p_same) ~ rate * 0.94.
+        assert observed == pytest.approx(rate * 0.94, abs=0.06)
+
+    def test_indels_change_length_sometimes(self, rng):
+        seq = random_sequence(500, rng)
+        lengths = {
+            mutate_sequence(seq, rng, 0.1, indel_rate=0.1).size for _ in range(10)
+        }
+        assert len(lengths) > 1
+
+
+class TestSequenceUniverse:
+    def test_family_deterministic(self):
+        u1, u2 = SequenceUniverse(3), SequenceUniverse(3)
+        f1, f2 = u1.family(42), u2.family(42)
+        assert (f1.ancestor == f2.ancestor).all()
+        assert f1.fold_seed == f2.fold_seed
+        assert f1.library_multiplicity == f2.library_multiplicity
+
+    def test_family_cached(self, universe):
+        assert universe.family(5) is universe.family(5)
+
+    def test_families_differ(self, universe):
+        a, b = universe.family(1), universe.family(2)
+        assert a.fold_seed != b.fold_seed
+
+    def test_rejects_negative_family(self, universe):
+        with pytest.raises(ValueError):
+            universe.family(-1)
+
+    def test_length_bounds(self):
+        uni = SequenceUniverse(0, min_length=50, max_length=100)
+        for fid in range(30):
+            assert 50 <= uni.family(fid).length <= 100
+
+    def test_family_length_exact(self, universe):
+        fam = universe.family_length(9, 137)
+        assert fam.length == 137
+        assert fam.fold_seed == universe.family(9).fold_seed
+
+    def test_family_length_rejects_out_of_bounds(self, universe):
+        with pytest.raises(ValueError):
+            universe.family_length(9, universe.max_length + 1)
+
+    def test_member_divergence(self, universe):
+        fam = universe.family(11)
+        member = universe.member(fam, 0.3, member_seed=1, indel_rate=0.0)
+        identity = float((member == fam.ancestor).mean())
+        assert 0.6 < identity < 0.85
+
+    def test_members_deterministic(self, universe):
+        fam = universe.family(11)
+        m1 = universe.member(fam, 0.3, member_seed=5)
+        m2 = universe.member(fam, 0.3, member_seed=5)
+        assert (m1 == m2).all()
+
+    def test_orphan_deterministic(self, universe):
+        a = universe.orphan(8, 90)
+        b = universe.orphan(8, 90)
+        assert (a == b).all()
+        assert a.size == 90
+
+    def test_multiplicity_spread(self):
+        uni = SequenceUniverse(0)
+        mults = [uni.family(i).library_multiplicity for i in range(300)]
+        assert min(mults) == 0  # some unsequenced families exist
+        assert max(mults) > 50  # and some very deep ones

@@ -1,0 +1,113 @@
+"""Tests for synthetic proteome generation."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SPECIES_STRUCTURE_COUNTS
+from repro.sequences import SPECIES, Proteome, synthetic_proteome
+from repro.sequences.proteome import species_family_base
+
+
+def test_species_catalog_matches_paper_counts():
+    for name, count in SPECIES_STRUCTURE_COUNTS.items():
+        assert SPECIES[name].n_proteins == count
+
+
+def test_species_family_bases_disjoint():
+    bases = [species_family_base(s) for s in SPECIES]
+    assert len(set(bases)) == len(bases)
+    for a in bases:
+        for b in bases:
+            if a != b:
+                assert abs(a - b) >= 10_000
+
+
+def test_unknown_species_raises():
+    with pytest.raises(KeyError):
+        synthetic_proteome("E_coli")
+
+
+def test_bad_scale_raises():
+    with pytest.raises(ValueError):
+        synthetic_proteome("D_vulgaris", scale=0.0)
+    with pytest.raises(ValueError):
+        synthetic_proteome("D_vulgaris", scale=1.5)
+
+
+def test_scaled_count(proteome):
+    expected = int(round(SPECIES["D_vulgaris"].n_proteins * 0.02))
+    # filter_max_length may remove a few very long sequences
+    assert expected * 0.9 <= len(proteome) <= expected
+
+
+def test_deterministic(universe):
+    p1 = synthetic_proteome("D_vulgaris", universe=universe, seed=7, scale=0.01)
+    p2 = synthetic_proteome("D_vulgaris", universe=universe, seed=7, scale=0.01)
+    assert [r.record_id for r in p1] == [r.record_id for r in p2]
+    assert all((a.encoded == b.encoded).all() for a, b in zip(p1, p2))
+
+
+def test_max_length_respected(proteome):
+    assert proteome.lengths().max() <= 2500
+
+
+def test_mean_length_plausible(universe):
+    prot = synthetic_proteome("D_vulgaris", universe=universe, seed=1, scale=0.1)
+    assert 220 <= prot.mean_length() <= 420  # paper: ~328 AA
+
+
+def test_orphans_present_and_unannotated(proteome):
+    orphans = [r for r in proteome if r.family_id is None]
+    assert orphans, "expected some orphan proteins"
+    assert all(not r.annotated for r in orphans)
+    assert all(r.divergence == 1.0 for r in orphans)
+
+
+def test_hypothetical_subset(proteome):
+    hypo = proteome.hypothetical()
+    assert 0 < len(hypo) < len(proteome)
+    assert all(not r.annotated for r in hypo)
+
+
+def test_sorted_by_length_descending(proteome):
+    lengths = proteome.sorted_by_length().lengths()
+    assert (np.diff(lengths) <= 0).all()
+
+
+def test_sorted_by_length_ascending(proteome):
+    lengths = proteome.sorted_by_length(descending=False).lengths()
+    assert (np.diff(lengths) >= 0).all()
+
+
+def test_filter_max_length(proteome):
+    short = proteome.filter_max_length(200)
+    assert short.lengths().max() <= 200
+    assert len(short) < len(proteome)
+
+
+def test_subset(proteome):
+    ids = [proteome[0].record_id, proteome[3].record_id]
+    sub = proteome.subset(ids)
+    assert len(sub) == 2
+    assert {r.record_id for r in sub} == set(ids)
+
+
+def test_slicing_returns_proteome(proteome):
+    sub = proteome[:5]
+    assert isinstance(sub, Proteome)
+    assert len(sub) == 5
+    assert sub.species == proteome.species
+
+
+def test_plant_proteome_shape(universe):
+    plant = synthetic_proteome("S_divinum", universe=universe, seed=7, scale=0.005)
+    bact = synthetic_proteome("D_vulgaris", universe=universe, seed=7, scale=0.02)
+    # Plant proteomes skew harder: more orphans, more hypothetical.
+    frac_orphan_plant = np.mean([r.family_id is None for r in plant])
+    frac_orphan_bact = np.mean([r.family_id is None for r in bact])
+    assert frac_orphan_plant > frac_orphan_bact
+
+
+def test_record_ids_unique(proteome):
+    ids = [r.record_id for r in proteome]
+    assert len(set(ids)) == len(ids)

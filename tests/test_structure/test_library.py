@@ -1,0 +1,79 @@
+"""Fold-library search tests (the pdb70 stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.sequences import ProteinRecord, SequenceUniverse
+from repro.sequences.proteome import species_family_base
+from repro.structure import FoldLibrary, build_fold_library
+
+
+@pytest.fixture(scope="module")
+def fold_library(universe, proteome):
+    base = species_family_base("D_vulgaris")
+    pool = max(1, int(len(proteome) / 0.98 * 0.6))
+    return build_fold_library(universe, list(range(base, base + pool)), seed=9)
+
+
+def test_entries_have_structures_and_annotations(fold_library):
+    assert len(fold_library) > 0
+    for entry in fold_library.entries:
+        assert len(entry.structure) > 0
+        assert entry.annotation.startswith("family_")
+
+
+def test_deterministic(universe, proteome):
+    base = species_family_base("D_vulgaris")
+    a = build_fold_library(universe, [base, base + 1, base + 2], seed=9)
+    b = build_fold_library(universe, [base, base + 1, base + 2], seed=9)
+    assert [e.entry_id for e in a.entries] == [e.entry_id for e in b.entries]
+
+
+def test_search_finds_own_family(fold_library, factory, proteome):
+    """A *native* structure of a deposited family must find its rep."""
+    deposited = {e.family_id for e in fold_library.entries}
+    rec = next(
+        (
+            r
+            for r in proteome
+            if r.family_id in deposited and r.divergence < 0.3 and r.branch == 0
+        ),
+        None,
+    )
+    if rec is None:
+        pytest.skip("no low-divergence deposited member in fixture")
+    native = factory.native(rec)
+    hits = fold_library.search(native, max_candidates=20)
+    assert hits
+    assert hits[0].tm_score > 0.5
+    assert hits[0].entry.family_id == rec.family_id
+
+
+def test_hits_sorted(fold_library, factory, proteome):
+    native = factory.native(proteome[0])
+    hits = fold_library.search(native, max_candidates=10, full_align_top=3)
+    scores = [h.tm_score for h in hits]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_length_window_prefilter(fold_library, factory, proteome):
+    short = min(proteome, key=lambda r: r.length)
+    native = factory.native(short)
+    hits = fold_library.search(native, length_window=0.1)
+    for h in hits:
+        assert abs(len(h.entry.structure) - len(native)) <= 0.1 * max(
+            len(h.entry.structure), len(native)
+        )
+
+
+def test_empty_library():
+    lib = FoldLibrary([])
+    assert len(lib) == 0
+    # best_hit on an empty library is None, not an exception.
+    from repro.sequences import encode
+    from repro.structure import Structure
+
+    q = Structure(
+        record_id="q", encoded=encode("A" * 30), ca=np.random.default_rng(0).normal(size=(30, 3)) * 10
+    )
+    assert lib.best_hit(q) is None

@@ -1,0 +1,72 @@
+"""PDB serialization tests."""
+
+import numpy as np
+import pytest
+
+from repro.structure import Structure, parse_pdb, read_pdb, structure_to_pdb, write_pdb
+
+
+@pytest.fixture()
+def structure(factory, proteome):
+    native = factory.native(proteome[0])
+    plddt = np.linspace(30, 99, len(native))
+    return native.with_plddt(plddt)
+
+
+def test_roundtrip_text(structure):
+    back = parse_pdb(structure_to_pdb(structure))
+    assert back.record_id == structure.record_id
+    assert back.sequence == structure.sequence
+    np.testing.assert_allclose(back.ca, structure.ca, atol=1e-3)
+    np.testing.assert_allclose(back.plddt, structure.plddt, atol=0.01)
+
+
+def test_roundtrip_file(tmp_path, structure):
+    path = tmp_path / "model.pdb"
+    write_pdb(structure, path)
+    back = read_pdb(path)
+    assert back.sequence == structure.sequence
+
+
+def test_plddt_in_bfactor_column(structure):
+    text = structure_to_pdb(structure)
+    atom_lines = [l for l in text.splitlines() if l.startswith("ATOM")]
+    b = float(atom_lines[0][60:66])
+    assert b == pytest.approx(structure.plddt[0], abs=0.01)
+
+
+def test_atom_records_format(structure):
+    text = structure_to_pdb(structure)
+    atom_lines = [l for l in text.splitlines() if l.startswith("ATOM")]
+    assert len(atom_lines) == len(structure)
+    for line in atom_lines[:5]:
+        assert line[12:16].strip() == "CA"
+        assert len(line.rstrip("\n")) >= 66
+
+
+def test_parse_ignores_non_ca(structure):
+    text = structure_to_pdb(structure)
+    # Inject an N atom line; parser must skip it.
+    lines = text.splitlines()
+    fake = lines[1].replace(" CA ", " N  ")
+    text2 = "\n".join([lines[0], fake] + lines[1:])
+    back = parse_pdb(text2)
+    assert len(back) == len(structure)
+
+
+def test_parse_rejects_empty():
+    with pytest.raises(ValueError):
+        parse_pdb("REMARK nothing here\nEND\n")
+
+
+def test_parse_rejects_nonstandard_residue(structure):
+    text = structure_to_pdb(structure).replace("ALA", "XXX", 1)
+    if "XXX" in text:
+        with pytest.raises(ValueError):
+            parse_pdb(text)
+
+
+def test_no_plddt_means_none(factory, proteome):
+    native = factory.native(proteome[1])
+    back = parse_pdb(structure_to_pdb(native))
+    assert back.plddt is None

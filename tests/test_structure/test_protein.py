@@ -1,0 +1,98 @@
+"""Structure model tests."""
+
+import numpy as np
+import pytest
+
+from repro.sequences import encode
+from repro.structure import Structure, pairwise_distances, pseudo_cb
+
+
+def _structure(n=10, rid="s1"):
+    coords = np.zeros((n, 3))
+    coords[:, 0] = np.arange(n) * 3.8
+    return Structure(record_id=rid, encoded=np.zeros(n, dtype=np.uint8), ca=coords)
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = _structure()
+        assert len(s) == 10
+        assert s.sequence == "A" * 10
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Structure(
+                record_id="x", encoded=np.zeros(5, dtype=np.uint8), ca=np.zeros((4, 3))
+            )
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Structure(
+                record_id="x", encoded=np.zeros(4, dtype=np.uint8), ca=np.zeros((4, 2))
+            )
+
+    def test_plddt_length_checked(self):
+        with pytest.raises(ValueError):
+            Structure(
+                record_id="x",
+                encoded=np.zeros(4, dtype=np.uint8),
+                ca=np.zeros((4, 3)),
+                plddt=np.zeros(3),
+            )
+
+
+class TestDerived:
+    def test_heavy_atoms_and_hydrogens(self):
+        s = Structure(record_id="x", encoded=encode("GGG"), ca=np.zeros((3, 3)) + np.arange(3)[:, None])
+        assert s.n_heavy_atoms == 3 * 4 + 1  # glycine backbone + OXT
+        assert s.n_hydrogens > 0
+
+    def test_mean_plddt_requires_plddt(self):
+        with pytest.raises(ValueError):
+            _structure().mean_plddt()
+
+    def test_radius_of_gyration_line(self):
+        s = _structure(100)
+        assert s.radius_of_gyration() > 50.0
+
+    def test_transformed(self):
+        s = _structure()
+        rot = np.array([[0.0, -1.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 1.0]])
+        t = s.transformed(rot, np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(t.ca, s.ca @ rot.T + [1, 2, 3])
+
+    def test_with_coordinates_keeps_metadata(self):
+        s = _structure().with_plddt(np.full(10, 50.0))
+        t = s.with_coordinates(s.ca + 1.0, model_name="relaxed")
+        assert t.model_name == "relaxed"
+        np.testing.assert_array_equal(t.plddt, s.plddt)
+
+
+class TestGeometryHelpers:
+    def test_pairwise_distances_symmetric(self, rng):
+        x = rng.normal(size=(20, 3))
+        d = pairwise_distances(x)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_pairwise_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            pairwise_distances(np.zeros((5, 2)))
+
+    def test_pseudo_cb_distance(self, factory, proteome):
+        native = factory.native(proteome[0])
+        cb = pseudo_cb(native.ca)
+        d = np.linalg.norm(cb - native.ca, axis=1)
+        np.testing.assert_allclose(d, 1.53, atol=1e-9)
+
+    def test_pseudo_cb_straight_chain_fallback(self):
+        s = _structure(20)
+        cb = pseudo_cb(s.ca)
+        assert np.isfinite(cb).all()
+        d = np.linalg.norm(cb - s.ca, axis=1)
+        np.testing.assert_allclose(d, 1.53, atol=1e-9)
+
+    def test_pseudo_cb_tiny_inputs(self):
+        one = np.zeros((1, 3))
+        assert pseudo_cb(one).shape == (1, 3)
+        assert pseudo_cb(np.zeros((0, 3))).shape == (0, 3)

@@ -1,0 +1,112 @@
+"""SPECS score and structural alignment tests."""
+
+import numpy as np
+import pytest
+
+from repro.fold import NativeFactory, smooth_chain_noise
+from repro.sequences import ProteinRecord, SequenceUniverse
+from repro.structure import (
+    align_structures,
+    nw_align_matrix,
+    pseudo_cb,
+    specs_score,
+    tm_score,
+)
+
+
+@pytest.fixture(scope="module")
+def factory9():
+    return NativeFactory(SequenceUniverse(21))
+
+
+@pytest.fixture(scope="module")
+def fold200(factory9):
+    return factory9.family_fold(31, 200)
+
+
+class TestSpecs:
+    def test_identity_near_one(self, fold200):
+        score = specs_score(fold200, fold200)
+        assert score > 0.97
+
+    def test_monotone_in_noise(self, fold200, rng):
+        s = [
+            specs_score(fold200 + rng.normal(scale=sig, size=fold200.shape), fold200)
+            for sig in (0.3, 2.0, 8.0)
+        ]
+        assert s[0] > s[1] > s[2]
+
+    def test_sidechain_sensitivity(self, fold200, rng):
+        """Backbone fixed, side chains perturbed: SPECS drops, not TM."""
+        good_cb = pseudo_cb(fold200)
+        bad_cb = good_cb + rng.normal(scale=2.0, size=good_cb.shape)
+        s_good = specs_score(fold200, fold200, model_cb=good_cb, native_cb=good_cb)
+        s_bad = specs_score(fold200, fold200, model_cb=bad_cb, native_cb=good_cb)
+        assert s_bad < s_good - 0.05
+        assert tm_score(fold200, fold200) == pytest.approx(1.0, abs=1e-6)
+
+    def test_bounds(self, fold200, rng):
+        wild = fold200 + rng.normal(scale=30, size=fold200.shape)
+        assert 0.0 <= specs_score(wild, fold200) <= 1.0
+
+    def test_shape_validation(self, fold200):
+        with pytest.raises(ValueError):
+            specs_score(fold200[:10], fold200)
+
+
+class TestNWMatrix:
+    def test_diagonal_recovered(self):
+        score = np.eye(8)
+        pairs = nw_align_matrix(score, gap_penalty=-0.5)
+        np.testing.assert_array_equal(pairs[:, 0], pairs[:, 1])
+        assert pairs.shape[0] == 8
+
+    def test_gap_placement(self):
+        # Query matches target positions 0..4 skipping target position 2.
+        score = np.zeros((4, 5))
+        for q, t in [(0, 0), (1, 1), (2, 3), (3, 4)]:
+            score[q, t] = 5.0
+        pairs = nw_align_matrix(score, gap_penalty=-1.0)
+        assert {(0, 0), (1, 1), (2, 3), (3, 4)} <= set(map(tuple, pairs))
+
+    def test_positive_gap_rejected(self):
+        with pytest.raises(ValueError):
+            nw_align_matrix(np.eye(3), gap_penalty=0.5)
+
+
+class TestAlignStructures:
+    def test_self_alignment_perfect(self, fold200):
+        res = align_structures(fold200, fold200)
+        assert res.tm_score > 0.95
+        assert res.n_aligned >= 195
+
+    def test_fragment_alignment(self, fold200):
+        """A fragment must align onto its source region."""
+        fragment = fold200[40:150]
+        res = align_structures(fragment, fold200)
+        assert res.tm_score > 0.8
+        # recovered correspondence maps i -> i + 40 for the core
+        offsets = res.pairs[:, 1] - res.pairs[:, 0]
+        assert np.median(offsets) == pytest.approx(40, abs=3)
+
+    def test_homologous_folds_align(self, factory9, rng):
+        base = factory9.family_fold(55, 160)
+        perturbed = base + smooth_chain_noise(160, rng, sigma=1.5)
+        res = align_structures(perturbed, base)
+        assert res.tm_score > 0.6
+
+    def test_unrelated_folds_low(self, factory9):
+        a = factory9.family_fold(60, 150)
+        b = factory9.family_fold(61, 170)
+        res = align_structures(a, b)
+        assert res.tm_score < 0.45
+
+    def test_sequence_identity_computed(self, factory9, universe):
+        fold = factory9.family_fold(70, 100)
+        seq = np.arange(100, dtype=np.uint8) % 20
+        res = align_structures(fold, fold, query_seq=seq, target_seq=seq)
+        assert res.sequence_identity == pytest.approx(1.0)
+
+    def test_too_short_rejected(self, fold200):
+        with pytest.raises(ValueError):
+            align_structures(fold200[:2], fold200)

@@ -1,0 +1,99 @@
+"""Tests for Kabsch superposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structure import kabsch, rmsd, superpose
+
+
+def _random_rotation(rng):
+    q = rng.normal(size=4)
+    q /= np.linalg.norm(q)
+    w, x, y, z = q
+    return np.array(
+        [
+            [1 - 2 * (y * y + z * z), 2 * (x * y - z * w), 2 * (x * z + y * w)],
+            [2 * (x * y + z * w), 1 - 2 * (x * x + z * z), 2 * (y * z - x * w)],
+            [2 * (x * z - y * w), 2 * (y * z + x * w), 1 - 2 * (x * x + y * y)],
+        ]
+    )
+
+
+@given(seed=st.integers(0, 10_000), n=st.integers(4, 60))
+@settings(max_examples=30, deadline=None)
+def test_recovers_rigid_transform(seed, n):
+    rng = np.random.default_rng(seed)
+    ref = rng.normal(scale=10, size=(n, 3))
+    rot = _random_rotation(rng)
+    t = rng.normal(scale=25, size=3)
+    mobile = ref @ rot.T + t
+    sup = kabsch(mobile, ref)
+    assert sup.rmsd < 1e-8
+    np.testing.assert_allclose(sup.apply(mobile), ref, atol=1e-8)
+
+
+def test_rotation_is_proper(rng):
+    a = rng.normal(size=(10, 3))
+    b = rng.normal(size=(10, 3))
+    sup = kabsch(a, b)
+    assert np.linalg.det(sup.rotation) == pytest.approx(1.0)
+    np.testing.assert_allclose(
+        sup.rotation @ sup.rotation.T, np.eye(3), atol=1e-10
+    )
+
+
+def test_no_reflection_for_mirrored_input(rng):
+    ref = rng.normal(size=(20, 3))
+    mirrored = ref * np.array([-1.0, 1.0, 1.0])
+    sup = kabsch(mirrored, ref)
+    # A proper rotation cannot undo a mirror: RMSD stays positive.
+    assert sup.rmsd > 0.1
+    assert np.linalg.det(sup.rotation) == pytest.approx(1.0)
+
+
+def test_weighted_fit_prioritises_heavy_points(rng):
+    ref = rng.normal(scale=5, size=(30, 3))
+    mobile = ref.copy()
+    mobile[0] += 100.0  # one wild outlier
+    w = np.ones(30)
+    w[0] = 1e-6
+    sup = kabsch(mobile, ref, weights=w)
+    fitted = sup.apply(mobile)
+    # Non-outlier points should fit essentially exactly.
+    assert np.abs(fitted[1:] - ref[1:]).max() < 1e-3
+
+
+def test_weight_validation(rng):
+    a = rng.normal(size=(5, 3))
+    with pytest.raises(ValueError):
+        kabsch(a, a, weights=np.zeros(5))
+    with pytest.raises(ValueError):
+        kabsch(a, a, weights=np.ones(4))
+    with pytest.raises(ValueError):
+        kabsch(a, a, weights=-np.ones(5))
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        kabsch(np.zeros((3, 2)), np.zeros((3, 2)))
+    with pytest.raises(ValueError):
+        kabsch(np.zeros((0, 3)), np.zeros((0, 3)))
+    with pytest.raises(ValueError):
+        kabsch(np.zeros((3, 3)), np.zeros((4, 3)))
+
+
+def test_rmsd_with_and_without_superposition(rng):
+    a = rng.normal(size=(25, 3))
+    shifted = a + 5.0
+    assert rmsd(shifted, a, superposition=True) == pytest.approx(0.0, abs=1e-9)
+    assert rmsd(shifted, a, superposition=False) == pytest.approx(
+        np.sqrt(75.0)
+    )
+
+
+def test_superpose_function(rng):
+    a = rng.normal(size=(15, 3))
+    moved = a @ _random_rotation(rng).T + 3.0
+    np.testing.assert_allclose(superpose(moved, a), a, atol=1e-8)
