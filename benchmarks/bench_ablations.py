@@ -16,7 +16,8 @@ import numpy as np
 import pytest
 
 from repro.cluster import feature_task_seconds, inference_task_seconds
-from repro.core.scheduling import ORDERINGS, evaluate_ordering, lpt_bound, order_tasks
+from repro.core.scheduling import ORDERINGS, evaluate_ordering, order_tasks
+
 from repro.dataflow import TaskSpec, make_workers, simulate_dataflow
 from repro.sequences import rng_for
 from conftest import save_result

@@ -9,7 +9,8 @@ not eliminated (the k=10 restraints win against mild bumps).
 import numpy as np
 import pytest
 
-from repro.relax import SinglePassRelaxProtocol, count_violations
+from repro.relax import SinglePassRelaxProtocol
+
 from conftest import save_result
 
 

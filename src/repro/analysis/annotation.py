@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..structure.library import FoldHit, FoldLibrary
 from ..structure.protein import Structure

@@ -17,7 +17,13 @@ from .stats import (
     improvement_concentration,
     summarize_proteome,
 )
-from .workloads import CaspTarget, benchmark_set, benchmark_suite, casp_targets
+from .workloads import (
+    CaspTarget,
+    benchmark_set,
+    benchmark_suite,
+    casp_targets,
+    oversized_records,
+)
 
 __all__ = [
     "FeatureStageResult",
@@ -39,4 +45,5 @@ __all__ = [
     "benchmark_set",
     "benchmark_suite",
     "casp_targets",
+    "oversized_records",
 ]

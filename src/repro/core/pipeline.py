@@ -29,6 +29,7 @@ from ..cluster.costmodel import (
 )
 from ..cluster.machine import ANDES, SUMMIT, MachineSpec
 from ..constants import REDUCED_DATASET_BYTES
+from ..dataflow.faults import RetryPolicy
 from ..dataflow.scheduler import TaskSpec, WorkerInfo, make_workers
 from ..dataflow.simulated import SimulationResult, simulate_dataflow
 from ..fold.generator import NativeFactory
@@ -46,7 +47,6 @@ from ..iosim.replication import ReplicationPlan, paper_plan
 from ..msa.databases import LibrarySuite
 from ..msa.features import FeatureBundle, FeatureGenConfig, generate_features
 from ..relax.protocols import RelaxOutcome, SinglePassRelaxProtocol
-from ..sequences.generator import ProteinRecord
 from ..sequences.proteome import SPECIES, Proteome
 from ..structure.protein import Structure
 from .presets import Preset, get_preset
@@ -188,9 +188,14 @@ class ProteomePipeline:
                 )
             )
         # One search job per concurrent slot: the plan's replica layout
-        # bounds useful concurrency regardless of node count.
+        # bounds useful concurrency regardless of node count.  Never
+        # exceed the plan's slot count — running more concurrent
+        # searches than replicas support breaks the §3.2.1 contention
+        # bound the cost model assumes.
         n_workers = min(plan.n_concurrent_jobs, self.feature_nodes * 4)
-        workers = make_workers(self.feature_nodes, max(1, n_workers // self.feature_nodes))
+        n_nodes = min(self.feature_nodes, n_workers)
+        per_node = -(-n_workers // n_nodes)  # ceil
+        workers = make_workers(n_nodes, per_node)[:n_workers]
 
         def duration(task: TaskSpec) -> float:
             return feature_task_seconds(
@@ -214,13 +219,19 @@ class ProteomePipeline:
         features: dict[str, FeatureBundle],
         factory: NativeFactory,
         preset_name: str | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> InferenceStageResult:
         """Five models per target on the dataflow executor.
 
         Tasks are (model, target) pairs — the paper's decomposition for
-        load balance (§3.3).  Tasks that exceed standard worker memory
-        run on the high-memory workers; tasks that exceed even those
-        fail and are recorded, as the casp14 benchmark rows did.
+        load balance (§3.3).  With highmem routing, tasks that exceed
+        standard worker memory are flagged ``requires_highmem`` and only
+        dispatch to high-memory workers; tasks that exceed even those
+        fail for real — their simulation records carry ``ok=False``, so
+        ``n_failed`` matches ``oom_failures``, as the casp14 benchmark
+        rows did.  A ``retry_policy`` additionally re-runs OOM-failed
+        attempts on high-memory workers (provisioned even when routing
+        is off, since escalation needs somewhere to escalate to).
         """
         preset = get_preset(preset_name or self.preset_name)
         bank = [SurrogateFoldModel(factory, i) for i in range(5)]
@@ -228,43 +239,93 @@ class ProteomePipeline:
         oom: list[tuple[str, str]] = []
         tasks: list[TaskSpec] = []
         durations: dict[str, float] = {}
+        memory_needed: dict[str, int] = {}
         std_budget = standard_worker_memory_bytes()
         hm_budget = highmem_worker_memory_bytes()
+        highmem_nodes = (
+            self.inference_highmem_nodes
+            if (self.use_highmem_routing or retry_policy is not None)
+            else 0
+        )
+        can_escalate = (
+            retry_policy is not None
+            and retry_policy.escalate_on_oom
+            and retry_policy.max_attempts > 1
+            and highmem_nodes > 0
+        )
         for record_id, bundle in features.items():
             bias = kingdom_bias_for(bundle.record.species)
             needed = inference_memory_bytes(
                 bundle.length, preset.n_ensembles, bundle.msa_depth
             )
-            budget = std_budget
-            if self.use_highmem_routing and needed > std_budget:
-                budget = hm_budget
+            requires_highmem = self.use_highmem_routing and needed > std_budget
+            budget = hm_budget if requires_highmem else std_budget
             config = preset.config(
                 kingdom_bias=bias, memory_budget_bytes=budget
             )
             for model in bank:
                 key = f"{record_id}/{model.name}"
+                memory_needed[key] = needed
+                tasks.append(
+                    TaskSpec(
+                        key=key,
+                        payload=None,
+                        size_hint=bundle.length,
+                        requires_highmem=requires_highmem,
+                    )
+                )
                 try:
                     pred = model.predict(bundle, config)
                 except OutOfMemoryError:
-                    oom.append((record_id, model.name))
-                    durations[key] = 30.0  # fast abort
-                    tasks.append(
-                        TaskSpec(key=key, payload=None, size_hint=bundle.length)
+                    recovered = (
+                        can_escalate
+                        and not requires_highmem
+                        and needed <= hm_budget
                     )
-                    continue
+                    if recovered:
+                        # The retry path re-runs this task on a 2 TB node.
+                        pred = model.predict(
+                            bundle,
+                            preset.config(
+                                kingdom_bias=bias,
+                                memory_budget_bytes=hm_budget,
+                            ),
+                        )
+                    else:
+                        oom.append((record_id, model.name))
+                        durations[key] = inference_task_seconds(
+                            bundle.length,
+                            config.recycle_cap(bundle.length),
+                            preset.n_ensembles,
+                        )
+                        continue
                 predictions.setdefault(record_id, []).append(pred)
                 durations[key] = inference_task_seconds(
                     bundle.length, pred.n_recycles, preset.n_ensembles
                 )
-                tasks.append(
-                    TaskSpec(key=key, payload=None, size_hint=bundle.length)
-                )
         workers = make_workers(
             self.inference_nodes,
             self.gpu_machine.gpus_per_node,
-            highmem_nodes=self.inference_highmem_nodes,
+            highmem_nodes=highmem_nodes,
         )
-        sim = simulate_dataflow(tasks, workers, lambda t: durations[t.key])
+
+        def oom_failure(task: TaskSpec, worker: WorkerInfo) -> str | None:
+            budget = hm_budget if worker.highmem else std_budget
+            if memory_needed[task.key] > budget:
+                return (
+                    f"OutOfMemoryError: {task.key} needs "
+                    f"{memory_needed[task.key] / 2**30:.1f} GiB, worker "
+                    f"budget is {budget / 2**30:.1f} GiB"
+                )
+            return None
+
+        sim = simulate_dataflow(
+            tasks,
+            workers,
+            lambda t: durations[t.key],
+            failure_fn=oom_failure,
+            retry_policy=retry_policy,
+        )
         top = {
             rid: max(preds, key=lambda p: p.ptms)
             for rid, preds in predictions.items()

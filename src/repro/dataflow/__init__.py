@@ -2,12 +2,21 @@
 
 from .client import Client, Future, SchedulerService
 from .engine import ExecutionResult, ThreadedExecutor
+from .faults import (
+    FaultInjector,
+    RetryPolicy,
+    is_oom_error,
+    straggler_duration_fn,
+)
 from .reporting import (
+    TASK_CSV_COLUMNS,
     GanttLane,
     extract_gantt,
     load_task_csv,
+    lost_keys,
     render_ascii_gantt,
     summarize_records,
+    write_task_csv,
 )
 from .scheduler import TaskQueue, TaskRecord, TaskSpec, WorkerInfo, make_workers
 from .simulated import SimulationResult, simulate_dataflow
@@ -18,11 +27,18 @@ __all__ = [
     "SchedulerService",
     "ExecutionResult",
     "ThreadedExecutor",
+    "FaultInjector",
+    "RetryPolicy",
+    "is_oom_error",
+    "straggler_duration_fn",
     "GanttLane",
+    "TASK_CSV_COLUMNS",
     "extract_gantt",
     "load_task_csv",
+    "lost_keys",
     "render_ascii_gantt",
     "summarize_records",
+    "write_task_csv",
     "TaskQueue",
     "TaskRecord",
     "TaskSpec",

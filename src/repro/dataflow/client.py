@@ -18,6 +18,7 @@ separation, futures, completion callbacks — is the paper's.
 
 from __future__ import annotations
 
+import csv
 import json
 import threading
 import time
@@ -27,6 +28,7 @@ from pathlib import Path
 from typing import Any
 
 from .engine import ExecutionResult
+from .reporting import TASK_CSV_COLUMNS, format_task_row
 from .scheduler import TaskQueue, TaskRecord, TaskSpec, WorkerInfo, make_workers
 
 __all__ = ["SchedulerService", "Future", "Client"]
@@ -143,9 +145,11 @@ class Client:
 
         lock = threading.Lock()
         records: list[TaskRecord] = []
-        csv_fh = open(stats_csv, "w", encoding="utf-8") if stats_csv else None
-        if csv_fh:
-            csv_fh.write("key,worker_id,start,end,ok,error\n")
+        csv_fh = csv_writer = None
+        if stats_csv:
+            csv_fh = open(stats_csv, "w", encoding="utf-8", newline="")
+            csv_writer = csv.writer(csv_fh)
+            csv_writer.writerow(TASK_CSV_COLUMNS)
         t0 = time.perf_counter()
 
         def run_worker(worker: WorkerInfo) -> None:
@@ -175,12 +179,8 @@ class Client:
                 )
                 with lock:
                     records.append(record)
-                    if csv_fh:
-                        csv_fh.write(
-                            f"{record.key},{record.worker_id},"
-                            f"{record.start:.6f},{record.end:.6f},"
-                            f"{record.ok},{record.error}\n"
-                        )
+                    if csv_writer is not None:
+                        csv_writer.writerow(format_task_row(record))
                 future._event.set()
 
         threads = [

@@ -5,18 +5,26 @@ are actual Python callables run on a thread pool — one "worker" per
 thread.  Used by the examples and integration tests to run the full
 pipeline for real, and by anyone adopting the library on an actual
 multi-core machine (numpy releases the GIL in the kernels that matter).
+
+Fault tolerance matches the simulated executor: memory-aware dispatch
+(``requires_highmem`` tasks only run on highmem workers), per-attempt
+records, and optional :class:`~repro.dataflow.faults.RetryPolicy`
+retries with escalate-to-highmem on OOM-class failures.
 """
 
 from __future__ import annotations
 
-import csv
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Iterable
 
+from .faults import RetryPolicy
+from .reporting import lost_keys as _lost_keys
+from .reporting import write_task_csv
 from .scheduler import TaskQueue, TaskRecord, TaskSpec, WorkerInfo, make_workers
+from .simulated import UNSCHEDULED_WORKER_ID
 
 __all__ = ["ExecutionResult", "ThreadedExecutor"]
 
@@ -28,20 +36,20 @@ class ExecutionResult:
     records: list[TaskRecord]
     results: dict[str, Any]
     walltime_seconds: float
+    workers: list[WorkerInfo] = field(default_factory=list)
 
     @property
     def n_failed(self) -> int:
+        """Failed attempts (a retried-then-recovered task counts once)."""
         return sum(1 for r in self.records if not r.ok)
+
+    def lost_keys(self) -> list[str]:
+        """Task keys with no successful attempt — lost targets."""
+        return _lost_keys(self.records)
 
     def write_csv(self, path: str | Path) -> None:
         """Write the per-task statistics CSV (§3.3 step 3e)."""
-        with open(path, "w", newline="") as fh:
-            writer = csv.writer(fh)
-            writer.writerow(["key", "worker_id", "start", "end", "ok", "error"])
-            for r in self.records:
-                writer.writerow(
-                    [r.key, r.worker_id, f"{r.start:.6f}", f"{r.end:.6f}", r.ok, r.error]
-                )
+        write_task_csv(self.records, path)
 
 
 class ThreadedExecutor:
@@ -50,64 +58,122 @@ class ThreadedExecutor:
     Mirrors the paper's deployment in miniature: a shared queue, greedy
     descending-size submission order, workers pulling as they free up,
     and a task-record stream identical in shape to the simulated one.
+    The last ``highmem_workers`` threads play the 2 TB high-memory
+    nodes' role: only they may run ``requires_highmem`` tasks.
     """
 
-    def __init__(self, n_workers: int = 4) -> None:
+    def __init__(self, n_workers: int = 4, highmem_workers: int = 0) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
+        if not 0 <= highmem_workers <= n_workers:
+            raise ValueError("highmem_workers must be in [0, n_workers]")
         self.n_workers = n_workers
-        self.workers = make_workers(n_nodes=1, workers_per_node=n_workers)
+        self.workers = [
+            replace(w, highmem=i >= n_workers - highmem_workers)
+            for i, w in enumerate(make_workers(n_nodes=1, workers_per_node=n_workers))
+        ]
 
     def map(
         self,
         func: Callable[[Any], Any],
-        items: Iterable[tuple[str, Any, float]],
+        items: Iterable[tuple[str, Any, float] | TaskSpec],
         sort_descending: bool = True,
+        retry_policy: RetryPolicy | None = None,
+        failure_fn: Callable[[TaskSpec, WorkerInfo], str | None] | None = None,
     ) -> ExecutionResult:
         """Apply ``func`` to items given as (key, payload, size_hint).
 
-        Exceptions inside tasks are captured per task, not raised: a
-        proteome run must survive individual OOM-style failures, as the
-        paper's did.
+        Items may also be full :class:`TaskSpec` objects (to set
+        ``requires_highmem``).  Exceptions inside tasks are captured per
+        task, not raised: a proteome run must survive individual
+        OOM-style failures, as the paper's did.  ``failure_fn`` injects
+        placement-dependent failures before ``func`` runs (the testable
+        stand-in for a real per-worker memory wall); with a
+        ``retry_policy``, failed attempts respawn — escalated to a
+        highmem worker on OOM-class errors — until the attempt budget
+        runs out.
         """
         queue = TaskQueue()
-        for key, payload, size_hint in items:
-            queue.submit(TaskSpec(key=key, payload=payload, size_hint=size_hint))
+        for item in items:
+            if isinstance(item, TaskSpec):
+                queue.submit(item)
+            else:
+                try:
+                    key, payload, size_hint = item
+                except (TypeError, ValueError):
+                    raise ValueError(
+                        "items must be TaskSpec or (key, payload, size_hint) "
+                        f"tuples, got {item!r}"
+                    ) from None
+                queue.submit(
+                    TaskSpec(key=key, payload=payload, size_hint=size_hint)
+                )
         if sort_descending:
             queue.sort_descending()
 
-        lock = threading.Lock()
+        cond = threading.Condition()
         records: list[TaskRecord] = []
         results: dict[str, Any] = {}
+        in_flight = 0
         t0 = time.perf_counter()
 
         def run_worker(worker: WorkerInfo) -> None:
+            nonlocal in_flight
             while True:
-                with lock:
-                    task = queue.pop()
-                if task is None:
-                    return
+                with cond:
+                    task = queue.pop(worker)
+                    while task is None:
+                        # No eligible task and nothing running that could
+                        # requeue one: only ineligible (highmem) tasks or
+                        # nothing at all remain for this worker.
+                        if in_flight == 0:
+                            return
+                        cond.wait(timeout=0.05)
+                        task = queue.pop(worker)
+                    in_flight += 1
                 start = time.perf_counter() - t0
                 ok, error, value = True, "", None
-                try:
-                    value = func(task.payload)
-                except Exception as exc:  # noqa: BLE001 - per-task isolation
-                    ok, error = False, f"{type(exc).__name__}: {exc}"
+                injected = (
+                    failure_fn(task, worker) if failure_fn is not None else None
+                )
+                if injected is not None:
+                    ok, error = False, injected
+                else:
+                    try:
+                        value = func(task.payload)
+                    except Exception as exc:  # noqa: BLE001 - per-task isolation
+                        ok, error = False, f"{type(exc).__name__}: {exc}"
                 end = time.perf_counter() - t0
-                with lock:
-                    records.append(
-                        TaskRecord(
-                            key=task.key,
-                            worker_id=worker.worker_id,
-                            start=start,
-                            end=end,
-                            ok=ok,
-                            error=error,
-                            result=None,
-                        )
-                    )
+                record = TaskRecord(
+                    key=task.key,
+                    worker_id=worker.worker_id,
+                    start=start,
+                    end=end,
+                    ok=ok,
+                    error=error,
+                    result=None,
+                    attempt=task.attempt,
+                )
+                respawn = None
+                if (
+                    not ok
+                    and retry_policy is not None
+                    and retry_policy.should_retry(task.attempt)
+                ):
+                    respawn = retry_policy.next_task(task, error)
+                    backoff = retry_policy.backoff_for(task.attempt)
+                    if backoff > 0:
+                        # The task slot stays in flight during backoff so
+                        # no worker concludes the run is drained.
+                        time.sleep(backoff)
+                with cond:
+                    records.append(record)
                     if ok:
                         results[task.key] = value
+                    if respawn is not None:
+                        queue.submit(respawn)
+                    in_flight -= 1
+                    cond.notify_all()
 
         threads = [
             threading.Thread(target=run_worker, args=(w,), daemon=True)
@@ -118,7 +184,27 @@ class ThreadedExecutor:
         for t in threads:
             t.join()
         walltime = time.perf_counter() - t0
+        # Tasks no worker could take (highmem-only, no highmem workers)
+        # are failed, not silently dropped.
+        while True:
+            task = queue.pop()
+            if task is None:
+                break
+            records.append(
+                TaskRecord(
+                    key=task.key,
+                    worker_id=UNSCHEDULED_WORKER_ID,
+                    start=walltime,
+                    end=walltime,
+                    ok=False,
+                    error="NoEligibleWorker: task requires a high-memory worker",
+                    attempt=task.attempt,
+                )
+            )
         records.sort(key=lambda r: r.start)
         return ExecutionResult(
-            records=records, results=results, walltime_seconds=walltime
+            records=records,
+            results=results,
+            walltime_seconds=walltime,
+            workers=list(self.workers),
         )

@@ -18,11 +18,53 @@ from .scheduler import TaskRecord
 
 __all__ = [
     "GanttLane",
+    "TASK_CSV_COLUMNS",
     "extract_gantt",
     "render_ascii_gantt",
+    "format_task_row",
+    "write_task_csv",
     "load_task_csv",
+    "lost_keys",
     "summarize_records",
 ]
+
+#: The one statistics-CSV row format shared by every writer (threaded
+#: executor, simulated executor, streaming client).  ``duration`` is
+#: derived from start/end but written out so the CSV is self-contained
+#: for downstream analysis, as the paper's per-task CSVs were.
+TASK_CSV_COLUMNS: tuple[str, ...] = (
+    "key",
+    "worker_id",
+    "attempt",
+    "start",
+    "end",
+    "duration",
+    "ok",
+    "error",
+)
+
+
+def format_task_row(record: TaskRecord) -> list[str]:
+    """One CSV row in the shared :data:`TASK_CSV_COLUMNS` format."""
+    return [
+        record.key,
+        record.worker_id,
+        str(record.attempt),
+        f"{record.start:.6f}",
+        f"{record.end:.6f}",
+        f"{record.duration:.6f}",
+        "true" if record.ok else "false",
+        record.error,
+    ]
+
+
+def write_task_csv(records: list[TaskRecord], path: str | Path) -> None:
+    """Write the per-task statistics CSV (§3.3 step 3e)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(TASK_CSV_COLUMNS)
+        for record in records:
+            writer.writerow(format_task_row(record))
 
 
 @dataclass(frozen=True)
@@ -91,7 +133,11 @@ def render_ascii_gantt(lanes: list[GanttLane], width: int = 100) -> str:
 
 
 def load_task_csv(path: str | Path) -> list[TaskRecord]:
-    """Read back a statistics CSV written by the executors."""
+    """Read back a statistics CSV written by the executors.
+
+    Accepts the shared schema plus older files without the
+    ``attempt``/``duration`` columns or with ``True``-cased booleans.
+    """
     records = []
     with open(path, newline="") as fh:
         for row in csv.DictReader(fh):
@@ -101,11 +147,23 @@ def load_task_csv(path: str | Path) -> list[TaskRecord]:
                     worker_id=row["worker_id"],
                     start=float(row["start"]),
                     end=float(row["end"]),
-                    ok=row["ok"] == "True",
+                    ok=row["ok"].lower() in ("true", "1"),
                     error=row.get("error", ""),
+                    attempt=int(row.get("attempt") or 1),
                 )
             )
     return records
+
+
+def lost_keys(records: list[TaskRecord]) -> list[str]:
+    """Task keys with no successful attempt — work the run lost.
+
+    The zero-lost-targets criterion of a fault-tolerant run: with
+    retries enabled every injected OOM should recover on a high-memory
+    worker and this list should be empty.
+    """
+    succeeded = {r.key for r in records if r.ok}
+    return sorted({r.key for r in records} - succeeded)
 
 
 def summarize_records(records: list[TaskRecord]) -> dict[str, float]:
@@ -114,6 +172,8 @@ def summarize_records(records: list[TaskRecord]) -> dict[str, float]:
         return {
             "n_tasks": 0,
             "n_failed": 0,
+            "n_retried": 0,
+            "n_lost": 0,
             "makespan": 0.0,
             "mean_duration": 0.0,
             "p95_duration": 0.0,
@@ -122,6 +182,8 @@ def summarize_records(records: list[TaskRecord]) -> dict[str, float]:
     return {
         "n_tasks": len(records),
         "n_failed": sum(1 for r in records if not r.ok),
+        "n_retried": sum(1 for r in records if r.attempt > 1),
+        "n_lost": len(lost_keys(records)),
         "makespan": float(max(r.end for r in records)),
         "mean_duration": float(durations.mean()),
         "p95_duration": float(np.percentile(durations, 95)),

@@ -26,13 +26,18 @@ class TaskSpec:
     """One unit of work: a key plus an optional payload/callable.
 
     ``size_hint`` is what the greedy sort orders by (sequence length in
-    the paper's workflows).
+    the paper's workflows).  ``requires_highmem`` marks tasks that only
+    fit a 2 TB high-memory node (§3.3); the queue never hands them to a
+    standard worker.  ``attempt`` counts executions of this key — retry
+    machinery respawns failed tasks with the counter bumped.
     """
 
     key: str
     payload: Any = None
     func: Callable[..., Any] | None = None
     size_hint: float = 0.0
+    requires_highmem: bool = False
+    attempt: int = 1
 
 
 @dataclass(frozen=True)
@@ -52,7 +57,12 @@ class WorkerInfo:
 
 @dataclass(frozen=True)
 class TaskRecord:
-    """Completion record — one row of the workflow's statistics CSV."""
+    """Completion record — one row of the workflow's statistics CSV.
+
+    With retries enabled one task key produces several records, one per
+    attempt; ``attempt`` disambiguates them (a recovered OOM shows up as
+    a failed attempt 1 followed by an ok attempt 2 on a highmem worker).
+    """
 
     key: str
     worker_id: str
@@ -61,6 +71,7 @@ class TaskRecord:
     ok: bool = True
     error: str = ""
     result: Any = None
+    attempt: int = 1
 
     @property
     def duration(self) -> float:
@@ -97,8 +108,23 @@ class TaskQueue:
         rng.shuffle(items)
         self.tasks = deque(items)
 
-    def pop(self) -> TaskSpec | None:
-        return self.tasks.popleft() if self.tasks else None
+    def pop(self, worker: WorkerInfo | None = None) -> TaskSpec | None:
+        """Next task this worker may run (FIFO among eligible tasks).
+
+        High-memory workers (and the ``worker=None`` legacy form) take
+        the head of the queue; standard workers skip ``requires_highmem``
+        tasks, which stay queued for a 2 TB node.  Returns ``None`` when
+        no eligible task is queued — the queue itself may be non-empty.
+        """
+        if not self.tasks:
+            return None
+        if worker is None or worker.highmem:
+            return self.tasks.popleft()
+        for i, task in enumerate(self.tasks):
+            if not task.requires_highmem:
+                del self.tasks[i]
+                return task
+        return None
 
     def __len__(self) -> int:
         return len(self.tasks)

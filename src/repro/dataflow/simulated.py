@@ -12,7 +12,8 @@ workflow costs, the 1000-node scaling study).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Callable
 
 from ..cluster.costmodel import (
@@ -20,9 +21,15 @@ from ..cluster.costmodel import (
     SCHEDULER_STARTUP_SECONDS,
 )
 from ..cluster.simclock import SimClock
+from .faults import RetryPolicy
+from .reporting import lost_keys as _lost_keys
 from .scheduler import TaskQueue, TaskRecord, TaskSpec, WorkerInfo
 
 __all__ = ["SimulationResult", "simulate_dataflow"]
+
+#: Worker id recorded for tasks no registered worker could ever run
+#: (e.g. ``requires_highmem`` with no high-memory workers provisioned).
+UNSCHEDULED_WORKER_ID = "unscheduled"
 
 
 @dataclass
@@ -38,6 +45,15 @@ class SimulationResult:
     def walltime_seconds(self) -> float:
         """Job wall time: startup + processing makespan."""
         return self.startup_seconds + self.makespan_seconds
+
+    @property
+    def n_failed(self) -> int:
+        """Failed attempts (a retried-then-recovered task counts once)."""
+        return sum(1 for r in self.records if not r.ok)
+
+    def lost_keys(self) -> list[str]:
+        """Task keys with no successful attempt — lost targets."""
+        return _lost_keys(self.records)
 
     @property
     def walltime_minutes(self) -> float:
@@ -90,6 +106,7 @@ def simulate_dataflow(
     task_overhead: float = DASK_TASK_OVERHEAD_SECONDS,
     startup: float = SCHEDULER_STARTUP_SECONDS,
     failure_fn: Callable[[TaskSpec, WorkerInfo], str | None] | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> SimulationResult:
     """Run the dataflow model to completion in simulated time.
 
@@ -99,6 +116,15 @@ def simulate_dataflow(
     may return an error string for (task, worker) pairs that fail —
     e.g. out-of-memory tasks on standard-memory workers — which are
     recorded as failed with a short abort duration.
+
+    Dispatch is memory-aware: ``requires_highmem`` tasks only ever run
+    on ``highmem=True`` workers (§3.3's oversized-protein routing).
+    With a ``retry_policy``, each failed attempt is recorded and a
+    successor resubmitted after the policy's backoff — escalated to a
+    high-memory worker on OOM-class errors — until it succeeds or the
+    attempt budget is exhausted.  Tasks no registered worker can run
+    are drained as failed ``NoEligibleWorker`` records rather than
+    stalling the run.
     """
     if not workers:
         raise ValueError("need at least one worker")
@@ -111,10 +137,18 @@ def simulate_dataflow(
 
     clock = SimClock()
     records: list[TaskRecord] = []
+    idle: list[WorkerInfo] = []
+
+    def wake_idle() -> None:
+        """Re-offer the queue to workers parked with nothing eligible."""
+        waiting, idle[:] = idle[:], []
+        for worker in waiting:
+            pull(worker)
 
     def pull(worker: WorkerInfo) -> None:
-        task = queue.pop()
+        task = queue.pop(worker)
         if task is None:
+            idle.append(worker)
             return
         error = failure_fn(task, worker) if failure_fn is not None else None
         start = clock.now + task_overhead
@@ -134,8 +168,21 @@ def simulate_dataflow(
                     end=end,
                     ok=error is None,
                     error=error or "",
+                    attempt=task.attempt,
                 )
             )
+            if (
+                error is not None
+                and retry_policy is not None
+                and retry_policy.should_retry(task.attempt)
+            ):
+                respawn = retry_policy.next_task(task, error)
+
+                def resubmit() -> None:
+                    queue.submit(respawn)
+                    wake_idle()
+
+                clock.schedule(retry_policy.backoff_for(task.attempt), resubmit)
             pull(worker)
 
         clock.schedule(end - clock.now, finish)
@@ -143,6 +190,23 @@ def simulate_dataflow(
     for worker in workers:
         pull(worker)
     makespan = clock.run()
+    # Anything still queued could not be placed on any worker (e.g.
+    # highmem-only tasks with no highmem workers): fail, don't lose.
+    while True:
+        task = queue.pop()
+        if task is None:
+            break
+        records.append(
+            TaskRecord(
+                key=task.key,
+                worker_id=UNSCHEDULED_WORKER_ID,
+                start=makespan,
+                end=makespan,
+                ok=False,
+                error="NoEligibleWorker: task requires a high-memory worker",
+                attempt=task.attempt,
+            )
+        )
     return SimulationResult(
         records=records,
         workers=list(workers),

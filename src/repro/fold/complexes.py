@@ -32,7 +32,8 @@ from ..msa.features import FeatureBundle
 from ..sequences.generator import ProteinRecord, rng_for, stable_hash
 from ..structure.protein import Structure
 from .difficulty import target_difficulty
-from .generator import NativeFactory, smooth_chain_noise
+from .generator import NativeFactory
+
 from .model import PredictionConfig, SurrogateFoldModel
 
 __all__ = [

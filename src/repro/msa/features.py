@@ -14,7 +14,8 @@ the two workflows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 
 from ..sequences.generator import ProteinRecord
 from .databases import LibrarySuite

@@ -21,12 +21,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..sequences.generator import rng_for
 from ..structure.protein import Structure
 from .forcefield import ForceFieldParams
-from .hydrogens import MMSystem, prepare_system
+from .hydrogens import prepare_system
+
 from .minimize import MinimizationResult, minimize_system
 from .violations import ViolationReport, count_violations
 

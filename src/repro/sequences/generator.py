@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .alphabet import ALPHABET_SIZE, BACKGROUND_FREQUENCIES, decode, encode
+from .alphabet import ALPHABET_SIZE, BACKGROUND_FREQUENCIES, decode
 
 __all__ = [
     "rng_for",

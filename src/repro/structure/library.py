@@ -18,10 +18,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..sequences.generator import ProteinRecord, SequenceUniverse, rng_for
-from .align3d import AlignmentResult, align_structures
+from .align3d import align_structures
+
 from .protein import Structure
 
 __all__ = ["FoldLibraryEntry", "FoldHit", "FoldLibrary", "build_fold_library"]

@@ -1,6 +1,5 @@
 """Pipeline stage tests on a miniature proteome."""
 
-import numpy as np
 import pytest
 
 from repro.core import ProteomePipeline, kingdom_bias_for
@@ -114,6 +113,86 @@ def test_stats_validation():
         benchmark_row("x", {}, 0.0)
     with pytest.raises(ValueError):
         summarize_proteome({})
+
+
+def _long_target_features(mini):
+    """One 1000-residue target: over the casp14 memory wall on a
+    standard worker, under it on a high-memory one."""
+    from repro.msa import generate_features
+    from repro.sequences import ProteinRecord, random_sequence, rng_for
+
+    uni, _prot, suite, factory = mini
+    rng = rng_for(99, "highmem-test")
+    long_rec = ProteinRecord(
+        record_id="highmem_target",
+        encoded=random_sequence(1000, rng),
+        family_id=None,
+        divergence=1.0,
+        annotated=False,
+    )
+    return {long_rec.record_id: generate_features(long_rec, suite)}, factory
+
+
+def test_oom_failure_accounting(mini):
+    """OOM tasks are failed in the records, not logged as successes:
+    ``n_failed`` matches ``oom_failures`` and the keys are lost."""
+    feats, factory = _long_target_features(mini)
+    bare = ProteomePipeline(inference_nodes=1, use_highmem_routing=False)
+    run = bare.run_inference_stage(feats, factory, preset_name="casp14")
+    assert len(run.oom_failures) == 5
+    assert run.simulation.n_failed == 5
+    failed = [r for r in run.simulation.records if not r.ok]
+    assert {r.key for r in failed} == set(run.simulation.lost_keys())
+    assert all("OutOfMemoryError" in r.error for r in failed)
+    assert all(r.attempt == 1 for r in failed)
+
+
+def test_retry_policy_recovers_oom_tasks(mini):
+    """With retries, OOM tasks re-run on highmem workers: zero lost
+    targets, failed-then-ok attempt pairs, no oom_failures."""
+    from repro.dataflow import RetryPolicy
+
+    feats, factory = _long_target_features(mini)
+    pipeline = ProteomePipeline(
+        inference_nodes=4, inference_highmem_nodes=1, use_highmem_routing=False
+    )
+    run = pipeline.run_inference_stage(
+        feats,
+        factory,
+        preset_name="casp14",
+        retry_policy=RetryPolicy(max_attempts=3, backoff_seconds=10.0),
+    )
+    assert run.oom_failures == []
+    assert run.simulation.lost_keys() == []
+    assert len(run.top_models) == 1
+    hm_ids = {w.worker_id for w in run.simulation.workers if w.highmem}
+    recovered = 0
+    for key in {r.key for r in run.simulation.records}:
+        attempts = sorted(
+            (r for r in run.simulation.records if r.key == key),
+            key=lambda r: r.attempt,
+        )
+        assert attempts[-1].ok
+        if len(attempts) > 1:
+            recovered += 1
+            assert not attempts[0].ok
+            assert attempts[-1].worker_id in hm_ids
+    assert recovered > 0
+
+
+def test_feature_stage_respects_plan_concurrency(mini):
+    """The replication plan's slot count caps concurrent searches even
+    when it is below the node count (§3.2.1 contention bound)."""
+    from repro.iosim.replication import ReplicationPlan
+
+    _uni, prot, suite, _factory = mini
+    plan = ReplicationPlan(
+        dataset_bytes=420_000_000_000, n_replicas=2, jobs_per_replica=1
+    )
+    pipeline = ProteomePipeline(feature_nodes=8, replication_plan=plan)
+    result = pipeline.run_feature_stage(prot, suite)
+    worker_ids = {r.worker_id for r in result.simulation.records}
+    assert len(worker_ids) <= plan.n_concurrent_jobs == 2
 
 
 def test_highmem_routing_rescues_casp14(mini):

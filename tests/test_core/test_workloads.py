@@ -1,6 +1,5 @@
 """Workload builder tests: Table 1 benchmark set and CASP-like targets."""
 
-import numpy as np
 import pytest
 
 from repro.constants import BENCHMARK_MIN_LENGTH
@@ -36,6 +35,16 @@ class TestBenchmarkSet:
             if inference_memory_bytes(r.length, 8) > budget
         ]
         assert len(over) == 8
+
+    def test_oversized_records_names_the_designed_tail(self, small_bench):
+        from repro.core import oversized_records
+
+        over = oversized_records(small_bench, n_ensembles=8)
+        assert len(over) == 8
+        lengths = {r.record_id: r.length for r in small_bench}
+        assert all(lengths[rid] >= 880 for rid in over)
+        # single-ensemble runs fit standard workers across this set
+        assert oversized_records(small_bench, n_ensembles=1) == []
 
     def test_deterministic(self):
         uni = SequenceUniverse(4)

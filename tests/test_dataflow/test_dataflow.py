@@ -82,7 +82,6 @@ class TestSimulatedDataflow:
         assert res.makespan_seconds == pytest.approx(15.0)
 
     def test_sorted_beats_random_on_skewed_load(self):
-        rng = np.random.default_rng(1)
         sizes = [1.0] * 200 + [120.0] * 5
         tasks = _tasks(sizes)
         workers = make_workers(2, 4)
@@ -185,7 +184,7 @@ class TestReporting:
         res = self._sim()
         lanes = extract_gantt(res.records)
         assert len(lanes) == 2
-        assert sum(l.n_tasks for l in lanes) == 6
+        assert sum(lane.n_tasks for lane in lanes) == 6
         for lane in lanes:
             starts = [s for s, _ in lane.intervals]
             assert starts == sorted(starts)

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.fold import NativeFactory, smooth_chain_noise
-from repro.sequences import SequenceUniverse
 from repro.structure import tm_score
 
 

@@ -77,7 +77,6 @@ class TestRecycling:
 
 class TestQuality:
     def test_quality_tracks_difficulty(self, features, bank, universe):
-        factory = bank[0].factory
         preds = [bank[0].predict(f, FIXED3) for f in features]
         hard = [p for p in preds if p.difficulty > 0.6]
         easy = [p for p in preds if p.difficulty < 0.2]

@@ -1,11 +1,12 @@
 """Library construction and deduplication tests."""
 
-import numpy as np
 import pytest
 
-from repro.msa import build_library, build_suite
+from repro.msa import build_library
+
 from repro.msa.databases import LibraryEntry, SequenceLibrary
-from repro.sequences import SequenceUniverse, encode
+from repro.sequences import encode
+
 
 
 @pytest.fixture(scope="module")

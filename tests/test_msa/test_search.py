@@ -9,7 +9,8 @@ from repro.msa import (
     search_library,
     search_suite,
 )
-from repro.sequences import SequenceUniverse, random_sequence
+from repro.sequences import random_sequence
+
 
 
 class TestLibraries:

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.relax import ForceField, ForceFieldParams, prepare_system
-from repro.structure import Structure
 
 
 @pytest.fixture()

@@ -3,10 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.constants import RELAX_ENERGY_TOLERANCE_KCAL
 from repro.relax import minimize_system, prepare_system
 from repro.relax.forcefield import ForceField
-from repro.structure import Structure
 
 
 @pytest.fixture()

@@ -8,7 +8,6 @@ from repro.msa import generate_features
 from repro.relax import (
     AlphaFoldRelaxProtocol,
     SinglePassRelaxProtocol,
-    count_violations,
     minimize_system,
     prepare_system,
     relax_structure,

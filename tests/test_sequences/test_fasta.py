@@ -38,8 +38,8 @@ def test_description_preserved():
 def test_long_sequences_wrapped():
     rec = _rec("long", "A" * 150)
     text = format_fasta([rec])
-    body = [l for l in text.splitlines() if not l.startswith(">")]
-    assert max(len(l) for l in body) == 60
+    body = [ln for ln in text.splitlines() if not ln.startswith(">")]
+    assert max(len(ln) for ln in body) == 60
     assert "".join(body) == "A" * 150
 
 

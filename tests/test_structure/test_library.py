@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.sequences import ProteinRecord, SequenceUniverse
 from repro.sequences.proteome import species_family_base
 from repro.structure import FoldLibrary, build_fold_library
 

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.structure import Structure, parse_pdb, read_pdb, structure_to_pdb, write_pdb
+from repro.structure import parse_pdb, read_pdb, structure_to_pdb, write_pdb
+
 
 
 @pytest.fixture()
@@ -30,14 +31,14 @@ def test_roundtrip_file(tmp_path, structure):
 
 def test_plddt_in_bfactor_column(structure):
     text = structure_to_pdb(structure)
-    atom_lines = [l for l in text.splitlines() if l.startswith("ATOM")]
+    atom_lines = [ln for ln in text.splitlines() if ln.startswith("ATOM")]
     b = float(atom_lines[0][60:66])
     assert b == pytest.approx(structure.plddt[0], abs=0.01)
 
 
 def test_atom_records_format(structure):
     text = structure_to_pdb(structure)
-    atom_lines = [l for l in text.splitlines() if l.startswith("ATOM")]
+    atom_lines = [ln for ln in text.splitlines() if ln.startswith("ATOM")]
     assert len(atom_lines) == len(structure)
     for line in atom_lines[:5]:
         assert line[12:16].strip() == "CA"

@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.fold import NativeFactory, smooth_chain_noise
-from repro.sequences import ProteinRecord, SequenceUniverse
+from repro.sequences import SequenceUniverse
+
 from repro.structure import (
     align_structures,
     nw_align_matrix,
