@@ -24,7 +24,7 @@ MAX_QUERIES = 16
 
 
 @pytest.fixture(scope="module")
-def census_inputs():
+def census_inputs(feature_cache):
     uni = SequenceUniverse(23)
     prot = synthetic_proteome("D_vulgaris", universe=uni, seed=23, scale=SCALE)
     suite = build_suite(uni, ["D_vulgaris"], seed=23, scale=SCALE)
@@ -36,7 +36,7 @@ def census_inputs():
     config = get_preset("genome").config()
     structures = {}
     for rec in prot.hypothetical()[:MAX_QUERIES]:
-        features = generate_features(rec, suite)
+        features = generate_features(rec, suite, cache=feature_cache)
         top = max(
             (m.predict(features, config) for m in bank), key=lambda p: p.ptms
         )

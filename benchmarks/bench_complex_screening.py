@@ -24,7 +24,7 @@ N_CHAINS = 12
 
 
 @pytest.fixture(scope="module")
-def screen():
+def screen(feature_cache):
     uni = SequenceUniverse(41)
     prot = synthetic_proteome("R_rubrum", universe=uni, seed=41, scale=0.01)
     suite = build_suite(uni, ["R_rubrum"], seed=41, scale=0.01)
@@ -32,7 +32,10 @@ def screen():
     chains = [
         r for r in prot if r.family_id is not None and r.length < 400
     ][:N_CHAINS]
-    feats = {r.record_id: generate_features(r, suite) for r in chains}
+    feats = {
+        r.record_id: generate_features(r, suite, cache=feature_cache)
+        for r in chains
+    }
     results = []
     for i in range(len(chains)):
         for j in range(i + 1, len(chains)):

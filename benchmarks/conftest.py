@@ -4,6 +4,11 @@ The heavyweight workloads (the 559-sequence Table 1 set, the CASP-like
 model census) are built once per session and shared across benchmark
 modules.  Every module writes its regenerated table/figure data to
 ``benchmarks/results/`` so EXPERIMENTS.md can quote it.
+
+Feature generation goes through a session-scoped, disk-backed
+:class:`~repro.cache.FeatureCache` (``benchmarks/.feature_cache/``):
+the 559-target Table 1 feature set is computed once ever, not once per
+benchmark session — repeat sessions hit the on-disk bundles.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import FeatureCache
 from repro.core import benchmark_set, benchmark_suite, casp_targets
 from repro.core.pipeline import ProteomePipeline
 from repro.fold import NativeFactory
@@ -19,6 +25,7 @@ from repro.msa import generate_features
 from repro.sequences import SequenceUniverse
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+FEATURE_CACHE_DIR = Path(__file__).resolve().parent / ".feature_cache"
 
 
 def save_result(name: str, text: str) -> None:
@@ -34,11 +41,20 @@ def bench_universe() -> SequenceUniverse:
 
 
 @pytest.fixture(scope="session")
-def table1_workload(bench_universe):
+def feature_cache() -> FeatureCache:
+    """Disk-backed feature cache shared by every benchmark module."""
+    return FeatureCache(directory=FEATURE_CACHE_DIR)
+
+
+@pytest.fixture(scope="session")
+def table1_workload(bench_universe, feature_cache):
     """The 559-sequence benchmark set with precomputed features."""
     bench = benchmark_set(bench_universe, seed=0)
     suite = benchmark_suite(bench_universe, seed=0)
-    features = {r.record_id: generate_features(r, suite) for r in bench}
+    features = {
+        r.record_id: generate_features(r, suite, cache=feature_cache)
+        for r in bench
+    }
     return bench, suite, features
 
 

@@ -22,5 +22,6 @@ Subpackages
 __version__ = "1.0.0"
 
 from . import constants
+from .cache import CacheStats, FeatureCache
 
-__all__ = ["constants", "__version__"]
+__all__ = ["constants", "CacheStats", "FeatureCache", "__version__"]

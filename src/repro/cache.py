@@ -1,0 +1,162 @@
+"""Content-addressed caching for the feature-generation stage.
+
+AF_Cache-style observation: in high-throughput AlphaFold deployments
+the CPU feature stage (MSA search) is recomputed far more often than it
+changes — benchmark sessions, restarted campaigns, and shared targets
+all re-derive identical features.  A content-addressed cache removes
+that recomputation entirely: the key is a hash of
+
+* the encoded query sequence (not the record id — two records with the
+  same sequence share features),
+* the library suite fingerprint (any library change invalidates), and
+* the :class:`~repro.msa.features.FeatureGenConfig` knobs.
+
+The cache is two-level: a process-local dict, plus an optional on-disk
+directory of pickled bundles so features survive across sessions (the
+benchmark suite points it at a shared directory).  Both executors may
+hit one cache concurrently; all bookkeeping is lock-protected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import threading
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .msa.databases import LibrarySuite
+    from .msa.features import FeatureBundle, FeatureGenConfig
+    from .sequences.generator import ProteinRecord
+
+__all__ = ["CacheStats", "FeatureCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters at a point in time."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter deltas relative to an earlier snapshot."""
+        return CacheStats(
+            hits=self.hits - earlier.hits, misses=self.misses - earlier.misses
+        )
+
+
+class FeatureCache:
+    """Two-level (memory + optional disk) feature-bundle cache.
+
+    ``directory=None`` keeps the cache purely in memory.  With a
+    directory, every stored bundle is also pickled to
+    ``<directory>/<key>.pkl`` and lookups fall back to disk on a memory
+    miss — which is what lets separate benchmark sessions share one
+    feature set.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self._memory: dict[str, "FeatureBundle"] = {}
+        self._dir = Path(directory) if directory is not None else None
+        if self._dir is not None:
+            self._dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        # Suite fingerprints are content hashes over every entry; cache
+        # them per suite object so one campaign pays the hash once.
+        self._suite_fps: dict[int, str] = {}
+
+    # -- Keys ----------------------------------------------------------------
+    def key_for(
+        self,
+        record: "ProteinRecord",
+        suite: "LibrarySuite",
+        config: "FeatureGenConfig",
+    ) -> str:
+        """Content-addressed key: sequence + suite + config."""
+        with self._lock:
+            suite_fp = self._suite_fps.get(id(suite))
+        if suite_fp is None:
+            suite_fp = suite.fingerprint()
+            with self._lock:
+                self._suite_fps[id(suite)] = suite_fp
+        h = hashlib.sha256()
+        h.update(np.ascontiguousarray(record.encoded).tobytes())
+        h.update(suite_fp.encode())
+        h.update(
+            f"{config.min_containment}|{config.max_hits_per_library}"
+            f"|{config.verify_top}|{config.template_min_identity}".encode()
+        )
+        return h.hexdigest()
+
+    # -- Lookup / store ------------------------------------------------------
+    def get(
+        self, key: str, record: "ProteinRecord | None" = None
+    ) -> "FeatureBundle | None":
+        """Cached bundle for ``key``, or ``None`` (counted as a miss).
+
+        When ``record`` is given, the returned bundle carries *that*
+        record: features are keyed by sequence content, so a hit from a
+        different record with the same sequence must not leak the
+        original record's identity.
+        """
+        bundle = None
+        with self._lock:
+            bundle = self._memory.get(key)
+        if bundle is None and self._dir is not None:
+            path = self._dir / f"{key}.pkl"
+            if path.exists():
+                try:
+                    bundle = pickle.loads(path.read_bytes())
+                except (pickle.UnpicklingError, EOFError, OSError):
+                    bundle = None  # corrupt entry: treat as a miss
+                else:
+                    with self._lock:
+                        self._memory[key] = bundle
+        with self._lock:
+            if bundle is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+        if bundle is not None and record is not None:
+            bundle = replace(bundle, record=record)
+        return bundle
+
+    def put(self, key: str, bundle: "FeatureBundle") -> None:
+        """Store a bundle under its key (memory, and disk if enabled)."""
+        with self._lock:
+            self._memory[key] = bundle
+        if self._dir is not None:
+            path = self._dir / f"{key}.pkl"
+            tmp = path.with_suffix(".pkl.tmp")
+            tmp.write_bytes(pickle.dumps(bundle))
+            tmp.replace(path)  # atomic: concurrent readers never see partials
+
+    # -- Introspection -------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory level (disk entries, if any, survive)."""
+        with self._lock:
+            self._memory.clear()

@@ -18,10 +18,12 @@ records, wall time and node-hours, from the calibrated cost model).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..cache import FeatureCache
 from ..cluster.costmodel import (
     feature_task_seconds,
     inference_task_seconds,
@@ -29,8 +31,9 @@ from ..cluster.costmodel import (
 )
 from ..cluster.machine import ANDES, SUMMIT, MachineSpec
 from ..constants import REDUCED_DATASET_BYTES
-from ..dataflow.faults import RetryPolicy
-from ..dataflow.scheduler import TaskSpec, WorkerInfo, make_workers
+from ..dataflow.engine import ExecutionResult, ThreadedExecutor
+from ..dataflow.faults import RetryPolicy, is_oom_error
+from ..dataflow.scheduler import TaskRecord, TaskSpec, WorkerInfo, make_workers
 from ..dataflow.simulated import SimulationResult, simulate_dataflow
 from ..fold.generator import NativeFactory
 from ..fold.memory import (
@@ -38,11 +41,7 @@ from ..fold.memory import (
     inference_memory_bytes,
     standard_worker_memory_bytes,
 )
-from ..fold.model import (
-    OutOfMemoryError,
-    Prediction,
-    SurrogateFoldModel,
-)
+from ..fold.model import Prediction, SurrogateFoldModel
 from ..iosim.replication import ReplicationPlan, paper_plan
 from ..msa.databases import LibrarySuite
 from ..msa.features import FeatureBundle, FeatureGenConfig, generate_features
@@ -59,6 +58,33 @@ __all__ = [
     "ProteomePipeline",
     "kingdom_bias_for",
 ]
+
+
+def _raise_on_failures(
+    records: list[TaskRecord],
+    stage: str,
+    allow: "callable[[str], bool] | None" = None,
+) -> None:
+    """Surface unexpected task failures from a threaded stage run.
+
+    The executor isolates exceptions per task; failures the stage has no
+    recovery story for (anything the ``allow`` classifier does not
+    claim, e.g. non-OOM errors in inference) must not be silently
+    dropped from the results dict — re-raise them here, as the seed's
+    inline loops would have.
+    """
+    unexpected = [
+        r
+        for r in records
+        if not r.ok and (allow is None or not allow(r.error))
+    ]
+    if unexpected:
+        summary = "; ".join(
+            f"{r.key}: {r.error}" for r in unexpected[:3]
+        )
+        raise RuntimeError(
+            f"{stage} stage: {len(unexpected)} task(s) failed — {summary}"
+        )
 
 
 def kingdom_bias_for(species: str) -> float:
@@ -78,6 +104,11 @@ class FeatureStageResult:
     n_nodes: int
     machine: MachineSpec
     plan: ReplicationPlan
+    #: Feature-cache counters for this stage run (zero without a cache).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: The threaded run that computed the features for real.
+    execution: ExecutionResult | None = None
 
     @property
     def node_hours(self) -> float:
@@ -95,6 +126,8 @@ class InferenceStageResult:
     n_nodes: int
     machine: MachineSpec
     preset: Preset
+    #: The threaded run that computed the predictions for real.
+    execution: ExecutionResult | None = None
 
     @property
     def node_hours(self) -> float:
@@ -121,6 +154,8 @@ class RelaxStageResult:
     simulation: SimulationResult
     n_nodes: int
     machine: MachineSpec
+    #: The threaded run that computed the relaxations for real.
+    execution: ExecutionResult | None = None
 
     @property
     def node_hours(self) -> float:
@@ -166,27 +201,60 @@ class ProteomePipeline:
     #: its proteome runs (§3.3); the Table 1 casp14 benchmark did *not*,
     #: which is why its eight longest sequences were lost to OOM.
     use_highmem_routing: bool = True
+    #: Threads for the *real* per-record work (feature search, model
+    #: inference, relaxation), run through :class:`ThreadedExecutor` with
+    #: the same task decomposition the operational simulation uses.
+    #: 0 = auto (one per core, capped at 8); numpy releases the GIL in
+    #: the kernels that dominate, so threads scale the science for real.
+    compute_workers: int = 0
+    #: Optional content-addressed cache for the feature stage.
+    feature_cache: FeatureCache | None = None
+
+    def _executor(self, n_items: int, highmem_workers: int = 0) -> ThreadedExecutor:
+        n = self.compute_workers
+        if n <= 0:
+            n = max(1, min(8, os.cpu_count() or 1))
+        n = min(n, max(1, n_items))
+        return ThreadedExecutor(n, highmem_workers=min(highmem_workers, n))
 
     # -- Stage 1 -----------------------------------------------------------
     def run_feature_stage(
         self, proteome: Proteome, suite: LibrarySuite
     ) -> FeatureStageResult:
-        """MSA search for every target; Andes CPU workflow."""
+        """MSA search for every target; Andes CPU workflow.
+
+        The searches themselves run on the threaded executor — one task
+        per target, the same decomposition the simulated workflow uses —
+        and consult :attr:`feature_cache` when one is configured.
+        """
         plan = self.replication_plan or paper_plan(REDUCED_DATASET_BYTES)
         contention = plan.contention()
         dataset_fraction = suite.total_modeled_bytes / 2.1e12
-        features: dict[str, FeatureBundle] = {}
-        tasks: list[TaskSpec] = []
-        for record in proteome:
-            bundle = generate_features(record, suite, self.feature_config)
-            features[record.record_id] = bundle
-            tasks.append(
-                TaskSpec(
-                    key=record.record_id,
-                    payload=record.length,
-                    size_hint=record.length,
-                )
+        records = list(proteome)
+        tasks = [
+            TaskSpec(
+                key=record.record_id,
+                payload=record,
+                size_hint=record.length,
             )
+            for record in records
+        ]
+        stats_before = (
+            self.feature_cache.stats if self.feature_cache is not None else None
+        )
+        execution = self._executor(len(tasks)).map(
+            lambda record: generate_features(
+                record, suite, self.feature_config, cache=self.feature_cache
+            ),
+            tasks,
+        )
+        _raise_on_failures(execution.records, "feature generation")
+        features = {r.record_id: execution.results[r.record_id] for r in records}
+        hits = misses = 0
+        if stats_before is not None:
+            assert self.feature_cache is not None
+            delta = self.feature_cache.stats.since(stats_before)
+            hits, misses = delta.hits, delta.misses
         # One search job per concurrent slot: the plan's replica layout
         # bounds useful concurrency regardless of node count.  Never
         # exceed the plan's slot count — running more concurrent
@@ -199,7 +267,7 @@ class ProteomePipeline:
 
         def duration(task: TaskSpec) -> float:
             return feature_task_seconds(
-                int(task.payload),
+                int(task.size_hint),
                 dataset_fraction=max(dataset_fraction, 1e-3),
                 io_contention=contention,
             )
@@ -211,6 +279,9 @@ class ProteomePipeline:
             n_nodes=self.feature_nodes,
             machine=self.feature_machine,
             plan=plan,
+            cache_hits=hits,
+            cache_misses=misses,
+            execution=execution,
         )
 
     # -- Stage 2 -----------------------------------------------------------
@@ -235,11 +306,9 @@ class ProteomePipeline:
         """
         preset = get_preset(preset_name or self.preset_name)
         bank = [SurrogateFoldModel(factory, i) for i in range(5)]
-        predictions: dict[str, list[Prediction]] = {}
-        oom: list[tuple[str, str]] = []
         tasks: list[TaskSpec] = []
-        durations: dict[str, float] = {}
         memory_needed: dict[str, int] = {}
+        biases: dict[str, float] = {}
         std_budget = standard_worker_memory_bytes()
         hm_budget = highmem_worker_memory_bytes()
         highmem_nodes = (
@@ -247,62 +316,77 @@ class ProteomePipeline:
             if (self.use_highmem_routing or retry_policy is not None)
             else 0
         )
-        can_escalate = (
-            retry_policy is not None
-            and retry_policy.escalate_on_oom
-            and retry_policy.max_attempts > 1
-            and highmem_nodes > 0
-        )
         for record_id, bundle in features.items():
             bias = kingdom_bias_for(bundle.record.species)
             needed = inference_memory_bytes(
                 bundle.length, preset.n_ensembles, bundle.msa_depth
             )
             requires_highmem = self.use_highmem_routing and needed > std_budget
-            budget = hm_budget if requires_highmem else std_budget
-            config = preset.config(
-                kingdom_bias=bias, memory_budget_bytes=budget
-            )
             for model in bank:
                 key = f"{record_id}/{model.name}"
                 memory_needed[key] = needed
+                biases[key] = bias
                 tasks.append(
                     TaskSpec(
                         key=key,
-                        payload=None,
+                        payload=(bundle, model),
                         size_hint=bundle.length,
                         requires_highmem=requires_highmem,
                     )
                 )
-                try:
-                    pred = model.predict(bundle, config)
-                except OutOfMemoryError:
-                    recovered = (
-                        can_escalate
-                        and not requires_highmem
-                        and needed <= hm_budget
+
+        # The real predictions run on the threaded executor with the
+        # exact (model, target) decomposition the simulation uses.  A
+        # task's memory budget follows its current placement class:
+        # highmem-routed (or retry-escalated) attempts get the 2 TB
+        # budget, so ``model.predict`` raises OOM exactly when the
+        # paper's deployment would have lost (or re-routed) the task.
+        def run_model(spec: TaskSpec) -> Prediction:
+            bundle, model = spec.payload
+            budget = hm_budget if spec.requires_highmem else std_budget
+            config = preset.config(
+                kingdom_bias=biases[spec.key], memory_budget_bytes=budget
+            )
+            return model.predict(bundle, config)
+
+        # Escalation needs a highmem slot in the executor whenever the
+        # simulation provisions highmem nodes or routing is on; backoff
+        # is an operational (simulated-time) concern, so the science
+        # executor retries immediately.
+        exec_policy = (
+            replace(retry_policy, backoff_seconds=0.0)
+            if retry_policy is not None
+            else None
+        )
+        exec_highmem = 1 if (self.use_highmem_routing or highmem_nodes > 0) else 0
+        execution = self._executor(len(tasks), highmem_workers=exec_highmem).map(
+            run_model, tasks, retry_policy=exec_policy, pass_spec=True
+        )
+        _raise_on_failures(
+            execution.records, "inference", allow=is_oom_error
+        )
+
+        predictions: dict[str, list[Prediction]] = {}
+        oom: list[tuple[str, str]] = []
+        durations: dict[str, float] = {}
+        for record_id, bundle in features.items():
+            for model in bank:
+                key = f"{record_id}/{model.name}"
+                pred = execution.results.get(key)
+                if pred is None:
+                    oom.append((record_id, model.name))
+                    durations[key] = inference_task_seconds(
+                        bundle.length,
+                        preset.config(
+                            kingdom_bias=biases[key]
+                        ).recycle_cap(bundle.length),
+                        preset.n_ensembles,
                     )
-                    if recovered:
-                        # The retry path re-runs this task on a 2 TB node.
-                        pred = model.predict(
-                            bundle,
-                            preset.config(
-                                kingdom_bias=bias,
-                                memory_budget_bytes=hm_budget,
-                            ),
-                        )
-                    else:
-                        oom.append((record_id, model.name))
-                        durations[key] = inference_task_seconds(
-                            bundle.length,
-                            config.recycle_cap(bundle.length),
-                            preset.n_ensembles,
-                        )
-                        continue
-                predictions.setdefault(record_id, []).append(pred)
-                durations[key] = inference_task_seconds(
-                    bundle.length, pred.n_recycles, preset.n_ensembles
-                )
+                else:
+                    predictions.setdefault(record_id, []).append(pred)
+                    durations[key] = inference_task_seconds(
+                        bundle.length, pred.n_recycles, preset.n_ensembles
+                    )
         workers = make_workers(
             self.inference_nodes,
             self.gpu_machine.gpus_per_node,
@@ -339,28 +423,34 @@ class ProteomePipeline:
             n_nodes=self.inference_nodes,
             machine=self.gpu_machine,
             preset=preset,
+            execution=execution,
         )
 
     # -- Stage 3 -----------------------------------------------------------
     def run_relax_stage(
         self, structures: dict[str, Structure]
     ) -> RelaxStageResult:
-        """Single-pass GPU relaxation of the top models (§3.4)."""
+        """Single-pass GPU relaxation of the top models (§3.4).
+
+        The minimisations run on the threaded executor, one task per
+        structure — the same decomposition the simulated workflow uses.
+        """
         protocol = SinglePassRelaxProtocol(device="gpu")
-        outcomes: dict[str, RelaxOutcome] = {}
-        tasks: list[TaskSpec] = []
-        durations: dict[str, float] = {}
-        for record_id, structure in structures.items():
-            outcome = protocol.run(structure)
-            outcomes[record_id] = outcome
-            durations[record_id] = relax_task_seconds(
+        tasks = [
+            TaskSpec(key=record_id, payload=structure, size_hint=len(structure))
+            for record_id, structure in structures.items()
+        ]
+        execution = self._executor(len(tasks)).map(protocol.run, tasks)
+        _raise_on_failures(execution.records, "relaxation")
+        outcomes: dict[str, RelaxOutcome] = {
+            record_id: execution.results[record_id] for record_id in structures
+        }
+        durations = {
+            record_id: relax_task_seconds(
                 outcome.n_heavy_atoms, outcome.n_minimizations, device="gpu"
             )
-            tasks.append(
-                TaskSpec(
-                    key=record_id, payload=None, size_hint=len(structure)
-                )
-            )
+            for record_id, outcome in outcomes.items()
+        }
         workers = make_workers(
             self.relax_nodes, self.gpu_machine.gpus_per_node
         )
@@ -370,6 +460,7 @@ class ProteomePipeline:
             simulation=sim,
             n_nodes=self.relax_nodes,
             machine=self.gpu_machine,
+            execution=execution,
         )
 
     # -- Full campaign -------------------------------------------------------

@@ -80,6 +80,7 @@ class ThreadedExecutor:
         sort_descending: bool = True,
         retry_policy: RetryPolicy | None = None,
         failure_fn: Callable[[TaskSpec, WorkerInfo], str | None] | None = None,
+        pass_spec: bool = False,
     ) -> ExecutionResult:
         """Apply ``func`` to items given as (key, payload, size_hint).
 
@@ -91,7 +92,10 @@ class ThreadedExecutor:
         stand-in for a real per-worker memory wall); with a
         ``retry_policy``, failed attempts respawn — escalated to a
         highmem worker on OOM-class errors — until the attempt budget
-        runs out.
+        runs out.  With ``pass_spec``, ``func`` receives the full
+        :class:`TaskSpec` of the *current attempt* instead of just the
+        payload — attempt-dependent behaviour (e.g. a memory budget that
+        grows when a retry escalates to highmem) needs the live spec.
         """
         queue = TaskQueue()
         for item in items:
@@ -140,7 +144,7 @@ class ThreadedExecutor:
                     ok, error = False, injected
                 else:
                     try:
-                        value = func(task.payload)
+                        value = func(task) if pass_spec else func(task.payload)
                     except Exception as exc:  # noqa: BLE001 - per-task isolation
                         ok, error = False, f"{type(exc).__name__}: {exc}"
                 end = time.perf_counter() - t0

@@ -60,16 +60,21 @@ def global_align(
         m[1:] = np.maximum(h[i - 1, :-1] + s[i - 1], h[i - 1, 1:] + g)
         h[i] = np.maximum.accumulate(m - g * j_idx) + g * j_idx
         h[i, 0] = g * i
-    # Traceback.
+    # Traceback.  Scores are sums of the (exactly representable) match /
+    # mismatch / gap constants, so candidate moves either reproduce the
+    # cell value exactly or miss it by at least the smallest score gap;
+    # a fixed absolute tolerance replaces the seed's per-cell
+    # ``np.isclose`` calls (atol + rtol work) at a fraction of the cost.
+    tol = 1e-6
     pairs: list[tuple[int, int]] = []
     i, j = l1, l2
     while i > 0 and j > 0:
         here = h[i, j]
-        if np.isclose(here, h[i - 1, j - 1] + s[i - 1, j - 1]):
+        if abs(here - (h[i - 1, j - 1] + s[i - 1, j - 1])) <= tol:
             pairs.append((i - 1, j - 1))
             i -= 1
             j -= 1
-        elif np.isclose(here, h[i - 1, j] + g):
+        elif abs(here - (h[i - 1, j] + g)) <= tol:
             i -= 1
         else:
             j -= 1

@@ -15,6 +15,7 @@ MSA depth — and therefore difficulty and model quality — is preserved.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -82,6 +83,7 @@ class SequenceLibrary:
         #: library (HHblits-style many-small-reads; drives metadata load).
         self.files_per_search = int(files_per_search)
         self._index: KmerIndex | None = None
+        self._fingerprint: str | None = None
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -96,6 +98,32 @@ class SequenceLibrary:
             idx.freeze()
             self._index = idx
         return self._index
+
+    def fingerprint(self) -> str:
+        """Content hash of everything a search outcome depends on.
+
+        Covers the search content (entry sequences and the metadata
+        that flows into hits: ids, clusters, families, annotation) and
+        the I/O model parameters (``modeled_bytes``,
+        ``files_per_search``).  Feature caching keys on this: any change
+        to the library yields a different fingerprint and therefore a
+        cache miss.  Libraries are treated as immutable once built; the
+        hash is computed once and memoised.
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            h.update(
+                f"{self.name}|{self.modeled_bytes}|{self.files_per_search}"
+                f"|k={self.index.k}".encode()
+            )
+            for entry in self.entries:
+                h.update(
+                    f"{entry.entry_id}|{entry.cluster_id}|{entry.family_id}"
+                    f"|{entry.annotated}".encode()
+                )
+                h.update(np.ascontiguousarray(entry.encoded).tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def deduplicated(self) -> "SequenceLibrary":
         """Reduced variant: keep one representative per duplicate cluster.
@@ -250,6 +278,15 @@ class LibrarySuite:
     @property
     def total_entries(self) -> int:
         return sum(len(lib) for lib in self.libraries)
+
+    def fingerprint(self) -> str:
+        """Combined content hash of the four libraries (see
+        :meth:`SequenceLibrary.fingerprint`); the suite component of
+        feature-cache keys."""
+        h = hashlib.sha256()
+        for lib in self.libraries:
+            h.update(lib.fingerprint().encode())
+        return h.hexdigest()
 
     def reduced(self) -> "LibrarySuite":
         """The reduced suite: BFD deduplicated (§3.2.1)."""

@@ -15,11 +15,14 @@ the two workflows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-
+from typing import TYPE_CHECKING
 
 from ..sequences.generator import ProteinRecord
 from .databases import LibrarySuite
 from .search import SearchResult, search_suite
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cache import FeatureCache
 
 __all__ = ["FeatureBundle", "generate_features", "FeatureGenConfig"]
 
@@ -67,9 +70,22 @@ def generate_features(
     record: ProteinRecord,
     suite: LibrarySuite,
     config: FeatureGenConfig | None = None,
+    cache: "FeatureCache | None" = None,
 ) -> FeatureBundle:
-    """Run the search stage for one target and package its features."""
+    """Run the search stage for one target and package its features.
+
+    With a :class:`~repro.cache.FeatureCache`, the search is skipped
+    entirely when an identical (sequence, suite, config) triple was
+    generated before — the content-addressed key means record ids don't
+    matter, and any change to the suite or config invalidates.
+    """
     cfg = config or FeatureGenConfig()
+    key = ""
+    if cache is not None:
+        key = cache.key_for(record, suite, cfg)
+        cached = cache.get(key, record=record)
+        if cached is not None:
+            return cached
     result: SearchResult = search_suite(
         record,
         suite,
@@ -84,7 +100,7 @@ def generate_features(
         best = max(templates, key=lambda h: h.identity)
         best_fid = best.entry.family_id
         best_identity = best.identity
-    return FeatureBundle(
+    bundle = FeatureBundle(
         record=record,
         msa_depth=result.msa_depth,
         effective_depth=result.effective_depth(),
@@ -94,3 +110,6 @@ def generate_features(
         n_file_reads=result.n_file_reads,
         bytes_scanned=result.bytes_scanned,
     )
+    if cache is not None:
+        cache.put(key, bundle)
+    return bundle

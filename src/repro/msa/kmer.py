@@ -5,11 +5,16 @@ what matters for the reproduction is the *selectivity structure*: a
 query must retrieve its family members from a large library quickly and
 with an identity-correlated score.  A k-mer inverted index gives exactly
 that with fully vectorized k-mer extraction.
+
+The index stores its postings in a frozen CSR (compressed sparse row)
+layout — one sorted int64 array of distinct k-mer codes, an int64
+offsets array, and one flat int32 array of sequence ids — so a query is
+a single ``np.searchsorted`` over the code vocabulary followed by a
+vectorized gather + ``np.bincount`` over the hit postings.  No Python
+loop touches a posting list on either the build or the query path.
 """
 
 from __future__ import annotations
-
-from collections import defaultdict
 
 import numpy as np
 
@@ -22,6 +27,13 @@ __all__ = ["kmer_codes", "KmerIndex"]
 #: 35% identity retain ~0.5% of k-mers — enough dynamic range to invert
 #: containment into an identity estimate (see ``repro.msa.search``).
 DEFAULT_K: int = 5
+
+#: Largest code span (ALPHABET_SIZE**k) for which freeze() builds a
+#: dense code -> vocabulary-position table.  Binary search over a
+#: multi-MB vocabulary is all cache misses; a direct int32 gather is
+#: not.  8.4M codes = 33 MB, so k=5 (3.2M) qualifies and k>=6 falls
+#: back to searchsorted.
+_LUT_MAX_SPAN: int = 1 << 23
 
 
 def kmer_codes(encoded: np.ndarray, k: int = DEFAULT_K) -> np.ndarray:
@@ -50,33 +62,88 @@ class KmerIndex:
     the number of *distinct shared k-mer types* per library sequence — a
     robust proxy for alignment score that is monotone in sequence
     identity for fixed lengths.
+
+    :meth:`freeze` converts the accumulated per-sequence code sets into
+    the CSR layout with a single concatenate + argsort; a query then
+    binary-searches the code vocabulary (``_codes``), slices the posting
+    ranges out of ``_offsets``, and bin-counts the gathered ids.  The
+    batched :meth:`count_hits_many` amortises the searchsorted and the
+    gather over many queries at once.
     """
 
     def __init__(self, k: int = DEFAULT_K) -> None:
         self.k = k
-        self._postings: dict[int, list[int]] = defaultdict(list)
+        #: Per-sequence *distinct* code arrays, pending freeze.
+        self._pending: list[np.ndarray] = []
         self._kmer_counts: list[int] = []
-        self._frozen: dict[int, np.ndarray] | None = None
+        # CSR layout, populated by freeze().
+        self._codes: np.ndarray | None = None  # sorted distinct codes
+        self._offsets: np.ndarray | None = None  # len(_codes) + 1
+        self._ids: np.ndarray | None = None  # flat int32 postings
+        self._counts_f64: np.ndarray | None = None  # cached counts array
+        self._lut: np.ndarray | None = None  # code -> vocab position
 
     def add(self, seq_id: int, encoded: np.ndarray) -> None:
         """Index one sequence under integer id ``seq_id``."""
-        if self._frozen is not None:
+        if self._codes is not None:
             raise RuntimeError("index is frozen; cannot add more sequences")
         if seq_id != len(self._kmer_counts):
             raise ValueError("sequences must be added with consecutive ids")
         codes = np.unique(kmer_codes(encoded, self.k))
-        for code in codes.tolist():
-            self._postings[code].append(seq_id)
+        self._pending.append(codes)
         self._kmer_counts.append(int(codes.size))
 
     def freeze(self) -> None:
-        """Convert postings to arrays; no further additions allowed."""
-        if self._frozen is None:
-            self._frozen = {
-                code: np.asarray(ids, dtype=np.int64)
-                for code, ids in self._postings.items()
-            }
-            self._postings.clear()
+        """Build the CSR postings; no further additions allowed."""
+        if self._codes is not None:
+            return
+        if self._pending:
+            all_codes = np.concatenate(self._pending)
+            ids = np.repeat(
+                np.arange(len(self._pending), dtype=np.int32),
+                [c.size for c in self._pending],
+            )
+        else:
+            all_codes = np.empty(0, dtype=np.int64)
+            ids = np.empty(0, dtype=np.int32)
+        order = np.argsort(all_codes, kind="stable")
+        sorted_codes = all_codes[order]
+        self._ids = ids[order]
+        self._codes, starts = np.unique(sorted_codes, return_index=True)
+        self._offsets = np.append(starts, sorted_codes.size).astype(np.int64)
+        self._counts_f64 = np.asarray(self._kmer_counts, dtype=np.float64)
+        self._pending = []
+        span = int(ALPHABET_SIZE) ** self.k
+        if self._codes.size and span <= _LUT_MAX_SPAN:
+            lut = np.full(span, -1, dtype=np.int32)
+            lut[self._codes] = np.arange(self._codes.size, dtype=np.int32)
+            self._lut = lut
+
+    def _vocab_positions(
+        self, codes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vocabulary positions of the codes found in the index.
+
+        Returns ``(positions, matched)`` where ``matched`` is a boolean
+        mask over ``codes`` and ``positions`` holds the vocabulary row
+        of each matched code.  Uses the dense lookup table when the code
+        span is small enough, a binary search otherwise.
+        """
+        assert self._codes is not None
+        if self._lut is not None:
+            valid = (codes >= 0) & (codes < self._lut.size)
+            if valid.all():
+                pos = self._lut[codes]
+            else:
+                pos = np.full(codes.size, -1, dtype=np.int32)
+                pos[valid] = self._lut[codes[valid]]
+            matched = pos >= 0
+            return pos[matched], matched
+        pos = np.minimum(
+            np.searchsorted(self._codes, codes), self._codes.size - 1
+        )
+        matched = self._codes[pos] == codes
+        return pos[matched], matched
 
     @property
     def n_sequences(self) -> int:
@@ -86,25 +153,121 @@ class KmerIndex:
         """Distinct k-mer types of an indexed sequence."""
         return self._kmer_counts[seq_id]
 
+    @property
+    def kmer_counts(self) -> np.ndarray:
+        """Distinct k-mer types per sequence (float64, cached at freeze)."""
+        self.freeze()
+        assert self._counts_f64 is not None
+        return self._counts_f64
+
+    def query_codes(self, encoded: np.ndarray) -> np.ndarray:
+        """Distinct k-mer codes of a query, as :meth:`count_hits` uses them."""
+        return np.unique(kmer_codes(encoded, self.k))
+
     def count_hits(self, encoded: np.ndarray) -> np.ndarray:
         """Distinct shared k-mer types between query and every sequence.
 
         Returns an int64 array of length :attr:`n_sequences`.
         """
+        return self.count_hits_codes(self.query_codes(encoded))
+
+    def count_hits_codes(self, codes: np.ndarray) -> np.ndarray:
+        """:meth:`count_hits` for a precomputed *distinct* code array.
+
+        Lets callers that need the query's code set anyway (e.g. the
+        containment denominator in ``repro.msa.search``) extract it once
+        instead of recomputing it per library.
+        """
         self.freeze()
-        assert self._frozen is not None
-        counts = np.zeros(self.n_sequences, dtype=np.int64)
-        for code in np.unique(kmer_codes(encoded, self.k)).tolist():
-            ids = self._frozen.get(code)
-            if ids is not None:
-                counts[ids] += 1
-        return counts
+        assert self._codes is not None and self._offsets is not None
+        assert self._ids is not None
+        hit_ids = self._gather_posting_ids(np.asarray(codes, dtype=np.int64))
+        return np.bincount(hit_ids, minlength=self.n_sequences).astype(
+            np.int64
+        )
+
+    def count_hits_many(
+        self, queries: list[np.ndarray], precomputed_codes: bool = False
+    ) -> np.ndarray:
+        """Batched :meth:`count_hits`: one (n_queries, n_sequences) matrix.
+
+        ``queries`` holds encoded sequences (default) or, with
+        ``precomputed_codes=True``, per-query *distinct* code arrays.
+        All queries share a single searchsorted over the vocabulary and
+        a single gather over the postings, and for encoded inputs even
+        the per-query dedup collapses into one ``np.unique`` over
+        ``query_id * span + code`` tags — which is where the batched
+        path earns its throughput.
+        """
+        self.freeze()
+        assert self._codes is not None and self._offsets is not None
+        assert self._ids is not None
+        n_seq = self.n_sequences
+        n_q = len(queries)
+        if n_q == 0:
+            return np.zeros((0, n_seq), dtype=np.int64)
+        if precomputed_codes:
+            code_sets = [np.asarray(q, dtype=np.int64) for q in queries]
+            all_codes = np.concatenate(code_sets)
+            query_of_code = np.repeat(
+                np.arange(n_q, dtype=np.int64),
+                [c.size for c in code_sets],
+            )
+        else:
+            # Tag every raw code with its query id in the high digits;
+            # one global sort + dedup then replaces a per-query
+            # ``np.unique`` loop.
+            span = np.int64(ALPHABET_SIZE) ** self.k
+            raw = [kmer_codes(q, self.k) for q in queries]
+            tags = np.repeat(
+                np.arange(n_q, dtype=np.int64) * span,
+                [r.size for r in raw],
+            )
+            tagged = np.concatenate(raw) + tags
+            tagged.sort()
+            if tagged.size:
+                keep = np.empty(tagged.size, dtype=bool)
+                keep[0] = True
+                np.not_equal(tagged[1:], tagged[:-1], out=keep[1:])
+                tagged = tagged[keep]
+            query_of_code = tagged // span
+            all_codes = tagged - query_of_code * span
+        if all_codes.size == 0 or self._codes.size == 0 or n_seq == 0:
+            return np.zeros((n_q, n_seq), dtype=np.int64)
+        pos, matched = self._vocab_positions(all_codes)
+        starts = self._offsets[pos]
+        lengths = self._offsets[pos + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return np.zeros((n_q, n_seq), dtype=np.int64)
+        hit_ids = self._ids[_expand_ranges(starts, lengths, total)]
+        hit_query = np.repeat(query_of_code[matched], lengths)
+        flat = np.bincount(
+            hit_query * n_seq + hit_ids, minlength=n_q * n_seq
+        )
+        return flat.reshape(n_q, n_seq).astype(np.int64, copy=False)
+
+    def _gather_posting_ids(self, codes: np.ndarray) -> np.ndarray:
+        """Flat sequence ids of every posting hit by the given codes."""
+        assert self._codes is not None and self._offsets is not None
+        assert self._ids is not None
+        if codes.size == 0 or self._codes.size == 0:
+            return np.empty(0, dtype=np.int32)
+        pos, _matched = self._vocab_positions(codes)
+        if pos.size == 0:
+            return np.empty(0, dtype=np.int32)
+        starts = self._offsets[pos]
+        lengths = self._offsets[pos + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int32)
+        return self._ids[_expand_ranges(starts, lengths, total)]
 
     def jaccard(self, encoded: np.ndarray) -> np.ndarray:
         """K-mer Jaccard similarity of the query against every sequence."""
-        query_kmers = int(np.unique(kmer_codes(encoded, self.k)).size)
-        hits = self.count_hits(encoded)
-        union = query_kmers + np.asarray(self._kmer_counts, dtype=np.float64) - hits
+        codes = self.query_codes(encoded)
+        hits = self.count_hits_codes(codes)
+        union = int(codes.size) + self.kmer_counts - hits
         with np.errstate(divide="ignore", invalid="ignore"):
             sim = np.where(union > 0, hits / union, 0.0)
         return sim
@@ -117,5 +280,22 @@ class KmerIndex:
         inverts cleanly to an identity estimate; unlike Jaccard it is not
         diluted by the library sequence being longer than the query.
         """
-        query_kmers = max(1, int(np.unique(kmer_codes(encoded, self.k)).size))
-        return self.count_hits(encoded) / float(query_kmers)
+        codes = self.query_codes(encoded)
+        query_kmers = max(1, int(codes.size))
+        return self.count_hits_codes(codes) / float(query_kmers)
+
+
+def _expand_ranges(
+    starts: np.ndarray, lengths: np.ndarray, total: int
+) -> np.ndarray:
+    """Indices covering ``[starts[j], starts[j]+lengths[j])`` for all j.
+
+    The standard cumsum trick: within the flat output, element ``i`` of
+    range ``j`` must read ``starts[j] + (i - cum[j-1])``, so repeating
+    ``starts - (cum - lengths)`` and adding ``arange(total)`` yields all
+    range members without a Python loop.
+    """
+    cum = np.cumsum(lengths)
+    return np.repeat(starts - (cum - lengths), lengths) + np.arange(
+        total, dtype=np.int64
+    )

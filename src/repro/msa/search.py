@@ -17,7 +17,7 @@ import numpy as np
 from ..sequences.generator import ProteinRecord
 from .align import global_align
 from .databases import LibraryEntry, LibrarySuite, SequenceLibrary
-from .kmer import kmer_codes
+from .kmer import DEFAULT_K, kmer_codes
 
 __all__ = ["Hit", "SearchResult", "search_library", "search_suite"]
 
@@ -112,6 +112,7 @@ def search_library(
     max_hits: int = 256,
     verify_top: int = 4,
     verify_max_length: int = 600,
+    query_codes: np.ndarray | None = None,
 ) -> tuple[list[Hit], int]:
     """Search one library; returns (hits, candidate_count_scanned).
 
@@ -119,12 +120,17 @@ def search_library(
     at ``verify_max_length`` residues — longer pairs keep the k-mer
     estimate, which is where the estimate is most accurate anyway); the
     rest carry the containment identity estimate.  Hits are sorted by
-    identity descending.
+    identity descending.  ``query_codes`` — the query's *distinct*
+    k-mer codes at the library's k — may be precomputed by the caller
+    (``search_suite`` extracts them once per query instead of once per
+    library).
     """
     if len(library) == 0:
         return [], 0
-    n_query_kmers = max(1, int(np.unique(kmer_codes(query, library.index.k)).size))
-    counts = library.index.count_hits(query)
+    if query_codes is None:
+        query_codes = library.index.query_codes(query)
+    n_query_kmers = max(1, int(query_codes.size))
+    counts = library.index.count_hits_codes(query_codes)
     sims = counts / float(n_query_kmers)
     # Require at least 3 shared k-mer types: one or two can be shared by
     # chance between unrelated sequences (expected ~0.03 per pair), and
@@ -167,7 +173,19 @@ def search_suite(
     if record.length < 6:
         raise ValueError("query too short for k-mer search")
     result = SearchResult(query_id=record.record_id)
-    n_query_kmers = max(1, np.unique(kmer_codes(record.encoded)).size)
+    # Extract the query's distinct k-mer codes once per k value; every
+    # library at that k reuses the same array (the seed recomputed the
+    # unique() five times per query: once here plus once per library).
+    codes_by_k: dict[int, np.ndarray] = {}
+
+    def codes_for(k: int) -> np.ndarray:
+        codes = codes_by_k.get(k)
+        if codes is None:
+            codes = np.unique(kmer_codes(record.encoded, k))
+            codes_by_k[k] = codes
+        return codes
+
+    n_query_kmers = max(1, codes_for(DEFAULT_K).size)
     for library in suite.libraries:
         hits, scanned = search_library(
             record.encoded,
@@ -175,6 +193,7 @@ def search_suite(
             min_containment=min_containment,
             max_hits=max_hits_per_library,
             verify_top=verify_top,
+            query_codes=codes_for(library.index.k),
         )
         result.hits.extend(hits)
         # I/O model: every search touches the library's file set once,

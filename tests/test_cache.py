@@ -1,0 +1,133 @@
+"""Feature-cache semantics: content addressing, invalidation, disk."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.cache import CacheStats, FeatureCache
+from repro.msa import build_suite, generate_features
+from repro.msa.features import FeatureGenConfig
+
+CONFIG = FeatureGenConfig()
+
+
+@pytest.fixture()
+def record(proteome):
+    return list(proteome)[0]
+
+
+class TestKeying:
+    def test_key_is_deterministic(self, record, suite):
+        cache = FeatureCache()
+        assert cache.key_for(record, suite, CONFIG) == cache.key_for(
+            record, suite, CONFIG
+        )
+
+    def test_key_depends_on_sequence(self, proteome, suite):
+        records = list(proteome)[:2]
+        cache = FeatureCache()
+        assert cache.key_for(records[0], suite, CONFIG) != cache.key_for(
+            records[1], suite, CONFIG
+        )
+
+    def test_key_invalidates_on_config_change(self, record, suite):
+        cache = FeatureCache()
+        changed = FeatureGenConfig(min_containment=0.5)
+        assert cache.key_for(record, suite, CONFIG) != cache.key_for(
+            record, suite, changed
+        )
+
+    def test_key_invalidates_on_suite_change(self, record, suite, universe):
+        cache = FeatureCache()
+        other = build_suite(universe, ["D_vulgaris"], seed=8, scale=0.02)
+        assert cache.key_for(record, suite, CONFIG) != cache.key_for(
+            record, other, CONFIG
+        )
+
+    def test_identical_suites_share_keys(self, record, universe):
+        # Content addressing: two separately built but identical suites
+        # hash the same, so a cache survives a suite rebuild.
+        s1 = build_suite(universe, ["D_vulgaris"], seed=9, scale=0.02)
+        s2 = build_suite(universe, ["D_vulgaris"], seed=9, scale=0.02)
+        assert s1.fingerprint() == s2.fingerprint()
+        cache = FeatureCache()
+        assert cache.key_for(record, s1, CONFIG) == cache.key_for(
+            record, s2, CONFIG
+        )
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self, record, suite):
+        cache = FeatureCache()
+        first = generate_features(record, suite, cache=cache)
+        second = generate_features(record, suite, cache=cache)
+        assert cache.stats == CacheStats(hits=1, misses=1)
+        assert len(cache) == 1
+        assert second.msa_depth == first.msa_depth
+        assert second.effective_depth == first.effective_depth
+        assert second.n_templates == first.n_templates
+
+    def test_hit_substitutes_record(self, proteome, suite):
+        # Two records, same features cached under the sequence hash: the
+        # returned bundle must carry the *queried* record.
+        record = list(proteome)[0]
+        cache = FeatureCache()
+        bundle = generate_features(record, suite, cache=cache)
+        key = cache.key_for(record, suite, CONFIG)
+        hit = cache.get(key, record=record)
+        assert hit is not None
+        assert hit.record is record
+        assert hit.msa_depth == bundle.msa_depth
+
+    def test_get_unknown_key_counts_miss(self):
+        cache = FeatureCache()
+        assert cache.get("no-such-key") is None
+        assert cache.stats == CacheStats(hits=0, misses=1)
+
+    def test_stats_since(self):
+        a = CacheStats(hits=3, misses=5)
+        b = CacheStats(hits=10, misses=6)
+        delta = b.since(a)
+        assert delta == CacheStats(hits=7, misses=1)
+        assert delta.lookups == 8
+        assert delta.hit_rate == pytest.approx(7 / 8)
+        assert CacheStats().hit_rate == 0.0
+
+
+class TestDisk:
+    def test_disk_roundtrip_across_instances(self, record, suite, tmp_path):
+        first = FeatureCache(directory=tmp_path)
+        bundle = generate_features(record, suite, cache=first)
+        # A fresh cache instance (new process in real life) hits disk.
+        second = FeatureCache(directory=tmp_path)
+        reloaded = generate_features(record, suite, cache=second)
+        assert second.stats == CacheStats(hits=1, misses=0)
+        assert reloaded.msa_depth == bundle.msa_depth
+        assert reloaded.record_id == bundle.record_id
+
+    def test_clear_memory_keeps_disk(self, record, suite, tmp_path):
+        cache = FeatureCache(directory=tmp_path)
+        generate_features(record, suite, cache=cache)
+        cache.clear_memory()
+        assert len(cache) == 0
+        generate_features(record, suite, cache=cache)
+        assert cache.stats.hits == 1
+
+    def test_corrupt_entry_is_a_miss(self, record, suite, tmp_path):
+        cache = FeatureCache(directory=tmp_path)
+        generate_features(record, suite, cache=cache)
+        key = cache.key_for(record, suite, CONFIG)
+        (tmp_path / f"{key}.pkl").write_bytes(b"not a pickle")
+        cache.clear_memory()
+        fresh = FeatureCache(directory=tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.stats == CacheStats(hits=0, misses=1)
+
+    def test_put_writes_loadable_pickle(self, record, suite, tmp_path):
+        cache = FeatureCache(directory=tmp_path)
+        bundle = generate_features(record, suite, cache=cache)
+        key = cache.key_for(record, suite, CONFIG)
+        on_disk = pickle.loads((tmp_path / f"{key}.pkl").read_bytes())
+        assert on_disk.msa_depth == bundle.msa_depth

@@ -219,3 +219,80 @@ def test_highmem_routing_rescues_casp14(mini):
     r2 = bare.run_inference_stage(feats, factory, preset_name="casp14")
     assert not r1.oom_failures
     assert len(r2.oom_failures) == 5  # all five model tasks fail
+
+
+def test_executor_stages_deterministic_across_worker_counts(mini):
+    """Threaded stages must not change the science: every stochastic
+    kernel draws from a per-(record, model) keyed stream, so 1 worker
+    and 4 workers produce identical outputs in any completion order."""
+    uni, prot, suite, factory = mini
+
+    def run(workers):
+        return ProteomePipeline(
+            preset_name="genome",
+            feature_nodes=4,
+            inference_nodes=2,
+            relax_nodes=1,
+            compute_workers=workers,
+        ).run(prot, suite, factory)
+
+    serial = run(1)
+    threaded = run(4)
+    fs, ft = serial.feature_stage.features, threaded.feature_stage.features
+    assert list(fs) == list(ft)  # proteome order, not completion order
+    for rid, bundle in fs.items():
+        assert ft[rid].msa_depth == bundle.msa_depth
+        assert ft[rid].effective_depth == bundle.effective_depth
+        assert ft[rid].n_templates == bundle.n_templates
+    tops_s = serial.inference_stage.top_models
+    tops_t = threaded.inference_stage.top_models
+    assert set(tops_s) == set(tops_t)
+    for rid, pred in tops_s.items():
+        assert tops_t[rid].ptms == pred.ptms
+        assert tops_t[rid].mean_plddt == pred.mean_plddt
+    for rid, outcome in serial.relax_stage.outcomes.items():
+        other = threaded.relax_stage.outcomes[rid]
+        assert other.final_energy == outcome.final_energy
+        assert other.total_steps == outcome.total_steps
+        assert (
+            other.violations_after.n_clashes
+            == outcome.violations_after.n_clashes
+        )
+
+
+def test_stage_results_carry_execution_records(full_run, mini):
+    """Each stage reports the ThreadedExecutor run that did its work."""
+    _, prot, _, _ = mini
+    record_ids = {r.record_id for r in prot}
+    fs = full_run.feature_stage
+    assert fs.execution is not None
+    assert {r.key for r in fs.execution.records} == record_ids
+    assert fs.execution.n_failed == 0
+    inf = full_run.inference_stage
+    assert inf.execution is not None
+    assert len(inf.execution.records) == 5 * len(prot)
+    rx = full_run.relax_stage
+    assert rx.execution is not None
+    assert {r.key for r in rx.execution.records} == set(
+        full_run.inference_stage.top_models
+    )
+
+
+def test_feature_stage_cache_counters(mini):
+    """A pipeline-attached FeatureCache turns repeat campaigns into
+    pure cache hits, and the stage result reports the split."""
+    from repro import FeatureCache
+
+    _, prot, suite, _ = mini
+    cache = FeatureCache()
+    pipeline = ProteomePipeline(feature_nodes=2, feature_cache=cache)
+    first = pipeline.run_feature_stage(prot, suite)
+    assert first.cache_misses == len(prot)
+    assert first.cache_hits == 0
+    second = pipeline.run_feature_stage(prot, suite)
+    assert second.cache_hits == len(prot)
+    assert second.cache_misses == 0
+    for rid, bundle in first.features.items():
+        assert second.features[rid].msa_depth == bundle.msa_depth
+    uncached = ProteomePipeline(feature_nodes=2).run_feature_stage(prot, suite)
+    assert uncached.cache_hits == 0 and uncached.cache_misses == 0

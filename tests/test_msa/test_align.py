@@ -62,3 +62,61 @@ def test_score_symmetric_identity(rng):
     assert pairwise_identity(a, b) == pytest.approx(
         pairwise_identity(b, a), abs=0.03
     )
+
+
+def _reference_traceback(q, t, gap_penalty):
+    """The seed's np.isclose-based traceback, kept as the regression
+    oracle for the plain-float-comparison fast path."""
+    from repro.msa.align import MATCH_SCORE, MISMATCH_SCORE
+
+    q = np.asarray(q, dtype=np.int16)
+    t = np.asarray(t, dtype=np.int16)
+    l1, l2 = q.size, t.size
+    s = np.where(q[:, None] == t[None, :], MATCH_SCORE, MISMATCH_SCORE)
+    g = gap_penalty
+    j_idx = np.arange(l2 + 1, dtype=np.float64)
+    h = np.zeros((l1 + 1, l2 + 1), dtype=np.float64)
+    h[0, :] = g * j_idx
+    h[:, 0] = g * np.arange(l1 + 1, dtype=np.float64)
+    for i in range(1, l1 + 1):
+        m = np.empty(l2 + 1)
+        m[0] = h[i, 0]
+        m[1:] = np.maximum(h[i - 1, :-1] + s[i - 1], h[i - 1, 1:] + g)
+        h[i] = np.maximum.accumulate(m - g * j_idx) + g * j_idx
+        h[i, 0] = g * i
+    pairs = []
+    i, j = l1, l2
+    while i > 0 and j > 0:
+        here = h[i, j]
+        if np.isclose(here, h[i - 1, j - 1] + s[i - 1, j - 1]):
+            pairs.append((i - 1, j - 1))
+            i -= 1
+            j -= 1
+        elif np.isclose(here, h[i - 1, j] + g):
+            i -= 1
+        else:
+            j -= 1
+    pairs.reverse()
+    pair_arr = np.array(pairs, dtype=np.int64).reshape(-1, 2)
+    identity = (
+        float((q[pair_arr[:, 0]] == t[pair_arr[:, 1]]).mean())
+        if pair_arr.shape[0]
+        else 0.0
+    )
+    return pair_arr, float(h[l1, l2]), identity
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 17, 101])
+def test_traceback_matches_isclose_reference(seed):
+    """The precomputed-tolerance traceback reproduces the seed's
+    np.isclose traceback exactly: same pairs, score, and identity."""
+    from repro.msa.align import GAP_PENALTY
+
+    rng = np.random.default_rng(seed)
+    a = random_sequence(int(rng.integers(20, 250)), rng)
+    b = mutate_sequence(a, rng, float(rng.uniform(0.0, 0.5)), indel_rate=0.05)
+    aln = global_align(a, b)
+    ref_pairs, ref_score, ref_identity = _reference_traceback(a, b, GAP_PENALTY)
+    assert aln.score == ref_score
+    assert aln.identity == ref_identity
+    assert (aln.pairs == ref_pairs).all()

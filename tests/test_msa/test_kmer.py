@@ -77,6 +77,39 @@ class TestKmerIndex:
         assert hits.shape == (5,)
         assert hits[0] == idx.kmer_count(0)
 
+    def test_count_hits_many_matches_single(self, rng):
+        seqs = [random_sequence(int(rng.integers(30, 200)), rng) for _ in range(20)]
+        idx = self._build(seqs)
+        queries = [mutate_sequence(seqs[i % 20], rng, 0.2) for i in range(7)]
+        queries.append(encode("ACD"))  # shorter than k: zero row
+        matrix = idx.count_hits_many(queries)
+        assert matrix.shape == (len(queries), 20)
+        for row, q in zip(matrix, queries):
+            assert (row == idx.count_hits(q)).all()
+        assert (matrix[-1] == 0).all()
+
+    def test_count_hits_many_precomputed_codes(self, rng):
+        seqs = [random_sequence(80, rng) for _ in range(6)]
+        idx = self._build(seqs)
+        queries = [random_sequence(120, rng) for _ in range(4)]
+        codes = [idx.query_codes(q) for q in queries]
+        direct = idx.count_hits_many(queries)
+        precomp = idx.count_hits_many(codes, precomputed_codes=True)
+        assert (direct == precomp).all()
+
+    def test_count_hits_many_empty_inputs(self, rng):
+        idx = self._build([random_sequence(60, rng)])
+        assert idx.count_hits_many([]).shape == (0, 1)
+        empty_idx = KmerIndex()
+        empty_idx.freeze()
+        assert empty_idx.count_hits(random_sequence(60, rng)).shape == (0,)
+        assert empty_idx.count_hits_many([random_sequence(60, rng)]).shape == (1, 0)
+
+    def test_count_hits_codes_ignores_foreign_codes(self, rng):
+        idx = self._build([random_sequence(90, rng)])
+        junk = np.array([-7, 10**12, 0], dtype=np.int64)
+        assert idx.count_hits_codes(junk).shape == (1,)
+
     @given(rate=st.floats(0.0, 0.6), seed=st.integers(0, 50))
     @settings(max_examples=15, deadline=None)
     def test_containment_inverts_to_identity(self, rate, seed):
@@ -91,3 +124,45 @@ class TestKmerIndex:
         true_identity = float((ancestor == mutant).mean())
         if true_identity > 0.5:
             assert estimated == pytest.approx(true_identity, abs=0.12)
+
+
+def _dict_count_hits(library, query, k):
+    """The seed's dict-of-lists implementation, as the reference oracle."""
+    postings: dict[int, list[int]] = {}
+    for seq_id, seq in enumerate(library):
+        for code in np.unique(kmer_codes(seq, k)).tolist():
+            postings.setdefault(code, []).append(seq_id)
+    counts = np.zeros(len(library), dtype=np.int64)
+    for code in np.unique(kmer_codes(query, k)).tolist():
+        for seq_id in postings.get(code, ()):
+            counts[seq_id] += 1
+    return counts
+
+
+# k=5 exercises the dense lookup-table path, k=6 the searchsorted
+# fallback (span > _LUT_MAX_SPAN).
+@given(
+    seed=st.integers(0, 10_000),
+    n_seqs=st.integers(1, 12),
+    k=st.sampled_from([5, 6]),
+)
+@settings(max_examples=25, deadline=None)
+def test_csr_count_hits_matches_dict_reference(seed, n_seqs, k):
+    rng = np.random.default_rng(seed)
+    library = [
+        random_sequence(int(rng.integers(3, 120)), rng) for _ in range(n_seqs)
+    ]
+    queries = [
+        mutate_sequence(library[int(rng.integers(0, n_seqs))], rng, 0.3),
+        random_sequence(int(rng.integers(3, 120)), rng),
+    ]
+    idx = KmerIndex(k=k)
+    for i, seq in enumerate(library):
+        idx.add(i, seq)
+    idx.freeze()
+    expected = [_dict_count_hits(library, q, k) for q in queries]
+    for q, ref in zip(queries, expected):
+        assert (idx.count_hits(q) == ref).all()
+    matrix = idx.count_hits_many(queries)
+    for row, ref in zip(matrix, expected):
+        assert (row == ref).all()
