@@ -78,9 +78,14 @@ def test_fig2_worker_gantt(benchmark, tasks):
     )
     save_result("fig2_worker_gantt", text)
 
-    # All 125,670 tasks completed, on every worker.
+    # All 125,670 tasks completed, on every worker.  Pulling per-worker
+    # lanes for all 1200 workers goes through the cached one-pass index
+    # (one rescan per worker would be 150M record visits here).
     assert len(sorted_run.records) == len(tasks)
     assert len(sorted_run.worker_finish_times()) == 1200
+    per_worker = [sorted_run.worker_records(w.worker_id) for w in workers]
+    assert sum(len(lane) for lane in per_worker) == len(tasks)
+    assert all(lane for lane in per_worker)
     # The paper's claim: workers finish within minutes of one another.
     assert spread_sorted < 15.0
     # Greedy sorting beats random ordering on both makespan and spread.

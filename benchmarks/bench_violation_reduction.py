@@ -9,22 +9,27 @@ not eliminated (the k=10 restraints win against mild bumps).
 import numpy as np
 import pytest
 
-from repro.relax import SinglePassRelaxProtocol
+from repro.relax import relax_many
 
 from conftest import save_result
 
 
 @pytest.fixture(scope="module")
 def census(casp_census):
-    """Violations before/after single-pass GPU relaxation, 160 models."""
-    protocol = SinglePassRelaxProtocol(device="gpu")
+    """Violations before/after single-pass GPU relaxation, 160 models,
+    relaxed as one executor-backed batch."""
+    structures = {
+        f"{target.record.record_id}/{j}": model.structure
+        for target in casp_census
+        for j, model in enumerate(target.models)
+    }
+    batch = relax_many(structures, device="gpu")
     before, after = [], []
-    for target in casp_census:
-        for model in target.models:
-            outcome = protocol.run(model.structure)
-            b, a = outcome.violations_before, outcome.violations_after
-            before.append((b.n_clashes, b.n_bumps))
-            after.append((a.n_clashes, a.n_bumps))
+    for key in structures:
+        outcome = batch.outcomes[key]
+        b, a = outcome.violations_before, outcome.violations_after
+        before.append((b.n_clashes, b.n_bumps))
+        after.append((a.n_clashes, a.n_bumps))
     return np.array(before), np.array(after)
 
 

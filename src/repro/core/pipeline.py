@@ -45,7 +45,8 @@ from ..fold.model import Prediction, SurrogateFoldModel
 from ..iosim.replication import ReplicationPlan, paper_plan
 from ..msa.databases import LibrarySuite
 from ..msa.features import FeatureBundle, FeatureGenConfig, generate_features
-from ..relax.protocols import RelaxOutcome, SinglePassRelaxProtocol
+from ..relax.batch import relax_many
+from ..relax.protocols import RelaxOutcome
 from ..sequences.proteome import SPECIES, Proteome
 from ..structure.protein import Structure
 from .presets import Preset, get_preset
@@ -432,19 +433,19 @@ class ProteomePipeline:
     ) -> RelaxStageResult:
         """Single-pass GPU relaxation of the top models (§3.4).
 
-        The minimisations run on the threaded executor, one task per
-        structure — the same decomposition the simulated workflow uses.
+        The science is :func:`repro.relax.batch.relax_many`: systems
+        prepared once, minimisations run on the threaded executor, one
+        task per structure — the same decomposition the simulated
+        workflow uses.
         """
-        protocol = SinglePassRelaxProtocol(device="gpu")
+        batch = relax_many(
+            structures, device="gpu", executor=self._executor(len(structures))
+        )
+        outcomes: dict[str, RelaxOutcome] = batch.outcomes
         tasks = [
             TaskSpec(key=record_id, payload=structure, size_hint=len(structure))
             for record_id, structure in structures.items()
         ]
-        execution = self._executor(len(tasks)).map(protocol.run, tasks)
-        _raise_on_failures(execution.records, "relaxation")
-        outcomes: dict[str, RelaxOutcome] = {
-            record_id: execution.results[record_id] for record_id in structures
-        }
         durations = {
             record_id: relax_task_seconds(
                 outcome.n_heavy_atoms, outcome.n_minimizations, device="gpu"
@@ -460,7 +461,7 @@ class ProteomePipeline:
             simulation=sim,
             n_nodes=self.relax_nodes,
             machine=self.gpu_machine,
-            execution=execution,
+            execution=batch.execution,
         )
 
     # -- Full campaign -------------------------------------------------------

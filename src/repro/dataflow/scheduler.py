@@ -85,52 +85,78 @@ class TaskQueue:
     ``sort_descending()`` implements the paper's §3.3 step 3c: targets
     sorted in descending size so long tasks start early and short tasks
     fill the tail gaps.
+
+    Tasks live on two deques split by eligibility — standard tasks any
+    worker may run, and ``requires_highmem`` tasks only a 2 TB worker
+    may take — so every :meth:`pop` is O(1) instead of a scan-and-delete
+    over queued highmem tasks.  A monotone submission counter stitches
+    the deques back into one global FIFO wherever order across both
+    matters (highmem pops, :attr:`tasks`, reordering).
     """
 
-    tasks: deque[TaskSpec] = field(default_factory=deque)
+    _standard: deque[tuple[int, TaskSpec]] = field(default_factory=deque)
+    _highmem: deque[tuple[int, TaskSpec]] = field(default_factory=deque)
+    _seq: int = 0
+
+    @property
+    def tasks(self) -> list[TaskSpec]:
+        """Queued tasks in global FIFO order (a read-only snapshot)."""
+        return [task for _, task in sorted(self._standard + self._highmem)]
 
     def submit(self, task: TaskSpec) -> None:
-        self.tasks.append(task)
+        lane = self._highmem if task.requires_highmem else self._standard
+        lane.append((self._seq, task))
+        self._seq += 1
 
     def submit_many(self, tasks: list[TaskSpec]) -> None:
-        self.tasks.extend(tasks)
+        for task in tasks:
+            self.submit(task)
+
+    def _reorder(self, ordered: list[TaskSpec]) -> None:
+        self._standard.clear()
+        self._highmem.clear()
+        self._seq = 0
+        self.submit_many(ordered)
 
     def sort_descending(self) -> None:
         """Greedy load balancing: largest size hints first."""
-        ordered = sorted(
-            self.tasks, key=lambda t: (-t.size_hint, t.key)
+        self._reorder(
+            sorted(self.tasks, key=lambda t: (-t.size_hint, t.key))
         )
-        self.tasks = deque(ordered)
 
     def shuffle(self, rng) -> None:
         """Random order (the baseline the paper argues against)."""
-        items = list(self.tasks)
+        items = self.tasks
         rng.shuffle(items)
-        self.tasks = deque(items)
+        self._reorder(items)
 
     def pop(self, worker: WorkerInfo | None = None) -> TaskSpec | None:
         """Next task this worker may run (FIFO among eligible tasks).
 
         High-memory workers (and the ``worker=None`` legacy form) take
-        the head of the queue; standard workers skip ``requires_highmem``
-        tasks, which stay queued for a 2 TB node.  Returns ``None`` when
-        no eligible task is queued — the queue itself may be non-empty.
+        the oldest task overall; standard workers take the oldest
+        standard task, leaving ``requires_highmem`` tasks queued for a
+        2 TB node.  Returns ``None`` when no eligible task is queued —
+        the queue itself may be non-empty.
         """
-        if not self.tasks:
-            return None
         if worker is None or worker.highmem:
-            return self.tasks.popleft()
-        for i, task in enumerate(self.tasks):
-            if not task.requires_highmem:
-                del self.tasks[i]
-                return task
-        return None
+            if not self._highmem:
+                return self._standard.popleft()[1] if self._standard else None
+            if not self._standard:
+                return self._highmem.popleft()[1]
+            lane = (
+                self._standard
+                if self._standard[0][0] < self._highmem[0][0]
+                else self._highmem
+            )
+            return lane.popleft()[1]
+        return self._standard.popleft()[1] if self._standard else None
 
     def __len__(self) -> int:
-        return len(self.tasks)
+        return len(self._standard) + len(self._highmem)
 
     def __bool__(self) -> bool:  # pragma: no cover - trivial
-        return bool(self.tasks)
+        return bool(self._standard) or bool(self._highmem)
 
 
 def make_workers(

@@ -34,12 +34,28 @@ UNSCHEDULED_WORKER_ID = "unscheduled"
 
 @dataclass
 class SimulationResult:
-    """Everything a simulated workflow run produced."""
+    """Everything a simulated workflow run produced.
+
+    Per-worker analytics (:meth:`worker_records`,
+    :meth:`worker_finish_times`) share a lazily built one-pass index
+    over the record stream, so extracting a W-row Gantt chart is
+    O(R + W) instead of O(W * R) rescans.  The index assumes ``records``
+    is not mutated after the first analytics call.
+    """
 
     records: list[TaskRecord]
     workers: list[WorkerInfo]
     makespan_seconds: float
     startup_seconds: float
+
+    def _index(self) -> dict[str, list[TaskRecord]]:
+        by_worker = getattr(self, "_by_worker", None)
+        if by_worker is None:
+            by_worker = {}
+            for r in self.records:
+                by_worker.setdefault(r.worker_id, []).append(r)
+            self._by_worker = by_worker
+        return by_worker
 
     @property
     def walltime_seconds(self) -> float:
@@ -60,14 +76,14 @@ class SimulationResult:
         return self.walltime_seconds / 60.0
 
     def worker_records(self, worker_id: str) -> list[TaskRecord]:
-        return [r for r in self.records if r.worker_id == worker_id]
+        return list(self._index().get(worker_id, []))
 
     def worker_finish_times(self) -> dict[str, float]:
         """Last task end per worker — Fig. 2's ragged right edge."""
-        finish: dict[str, float] = {}
-        for r in self.records:
-            finish[r.worker_id] = max(finish.get(r.worker_id, 0.0), r.end)
-        return finish
+        return {
+            worker_id: max(r.end for r in recs)
+            for worker_id, recs in self._index().items()
+        }
 
     def finish_spread_seconds(self) -> float:
         """Max - min of per-worker finish times (load-balance quality)."""

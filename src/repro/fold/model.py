@@ -49,25 +49,26 @@ __all__ = [
 
 def _rotate_tail(
     coords: np.ndarray, hinge: int, axis: np.ndarray, angle: float
-) -> np.ndarray:
-    """Rotate ``coords[hinge+1:]`` about the hinge residue (Rodrigues).
+) -> None:
+    """Rotate ``coords[hinge+1:]`` about the hinge residue (Rodrigues),
+    in place.
 
     Models the inter-domain orientation error: the chain stays connected
     at the hinge while everything downstream swings as a rigid body.
+    Rows up to the hinge are untouched, so chained hinge rotations share
+    one working array instead of copying the whole chain per hinge.
     """
     if hinge >= coords.shape[0] - 1 or abs(angle) < 1e-12:
-        return coords
+        return
     k = axis / (np.linalg.norm(axis) + 1e-12)
     c, s = np.cos(angle), np.sin(angle)
-    out = coords.copy()
-    v = out[hinge + 1 :] - out[hinge]
-    out[hinge + 1 :] = (
-        out[hinge]
+    v = coords[hinge + 1 :] - coords[hinge]
+    coords[hinge + 1 :] = (
+        coords[hinge]
         + v * c
         + np.cross(k, v) * s
         + np.outer(v @ k, k) * (1.0 - c)
     )
-    return out
 
 
 class OutOfMemoryError(RuntimeError):
@@ -212,21 +213,30 @@ class SurrogateFoldModel:
         )
         theta0 = theta_floor * (1.3 + 1.2 * difficulty)
 
+        # One working buffer per prediction: each recycle assembles into
+        # it and rotates hinge tails in place instead of copying the full
+        # chain once per hinge.  The controller only keeps distogram
+        # signatures, never the coordinates, so reuse is safe.
+        local = np.empty_like(native.ca)
+        work = np.empty_like(native.ca)
+
         def assemble(sigma: float, theta_scale: float, churn_sigma: float) -> tuple[np.ndarray, np.ndarray]:
             """Build model coordinates; returns (coords, local_error)."""
-            local = field * sigma
+            np.multiply(field, sigma, out=local)
             if churn_sigma > 0:
-                local = local + smooth_chain_noise(
-                    length, rng, sigma=churn_sigma, window=7
+                np.add(
+                    local,
+                    smooth_chain_noise(length, rng, sigma=churn_sigma, window=7),
+                    out=local,
                 )
-            coords = native.ca + local
+            coords = np.add(native.ca, local, out=work)
             # Hinge rotations applied tail-first so each boundary rotates
             # everything downstream of it about the hinge residue.
             for b, axis, t0, tf in zip(
                 boundaries, dom_axes, theta0, theta_floor
             ):
                 angle = tf + (t0 - tf) * theta_scale
-                coords = _rotate_tail(coords, int(b), axis, float(angle))
+                _rotate_tail(coords, int(b), axis, float(angle))
             return coords, np.linalg.norm(local, axis=1)
 
         controller = RecycleController(

@@ -1,10 +1,12 @@
 """Geometry optimisation: force field, minimiser, violation census, protocols."""
 
-from .forcefield import ForceField, ForceFieldParams
+from .batch import BatchRelaxResult, relax_many
+from .forcefield import ForceField, ForceFieldParams, ReferenceForceField
 from .hydrogens import MMSystem, prepare_system
 from .minimize import MinimizationResult, minimize_system
 from .protocols import (
     AlphaFoldRelaxProtocol,
+    PreparedRelax,
     RelaxOutcome,
     SinglePassRelaxProtocol,
     relax_structure,
@@ -17,13 +19,17 @@ from .violations import (
 )
 
 __all__ = [
+    "BatchRelaxResult",
+    "relax_many",
     "ForceField",
     "ForceFieldParams",
+    "ReferenceForceField",
     "MMSystem",
     "prepare_system",
     "MinimizationResult",
     "minimize_system",
     "AlphaFoldRelaxProtocol",
+    "PreparedRelax",
     "RelaxOutcome",
     "SinglePassRelaxProtocol",
     "relax_structure",

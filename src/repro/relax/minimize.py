@@ -4,8 +4,10 @@ One "energy minimisation calculation" in the paper's sense: L-BFGS on
 the force-field energy with an unlimited step budget, run until the
 energy difference between successive rounds falls below the paper's
 convergence criterion of 2.39 kcal/mol.  The non-bonded neighbour list
-is rebuilt between rounds (a standard neighbour-list scheme), so each
-round is smooth for the optimizer.
+is managed as a Verlet list between rounds: the KD-tree rebuild is
+skipped while no particle has moved more than half the 0.5 A skin since
+the last build (restraints keep motion tiny, so most rounds reuse the
+list), and each round is smooth for the optimizer either way.
 """
 
 from __future__ import annotations
@@ -21,6 +23,103 @@ from .hydrogens import MMSystem
 
 __all__ = ["MinimizationResult", "minimize_system"]
 
+#: L-BFGS-B settings shared by both drivers.  ``ftol``/``gtol`` are the
+#: values ``scipy.optimize.minimize`` was called with historically;
+#: ``factr`` is scipy's own ftol -> factr conversion.
+_LBFGS_M = 10
+_LBFGS_FTOL = 1e-10
+_LBFGS_GTOL = 1e-8
+_LBFGS_FACTR = _LBFGS_FTOL / np.finfo(float).eps
+_LBFGS_MAXLS = 20
+_LBFGS_MAXFUN = 15_000
+
+
+def _scipy_lbfgs_round(fun, x0, maxiter):
+    res = scipy_minimize(
+        fun,
+        x0,
+        jac=True,
+        method="L-BFGS-B",
+        options={
+            "maxiter": maxiter,
+            "ftol": _LBFGS_FTOL,
+            "gtol": _LBFGS_GTOL,
+        },
+    )
+    return res.x, float(res.fun), int(res.nit)
+
+
+def _raw_lbfgs_round(fun, x0, maxiter):
+    """Drive scipy's Fortran ``setulb`` reverse-communication loop
+    directly, skipping the ``ScalarFunction`` wrapper (finite checks,
+    memoisation, defensive copies) that costs as much per evaluation as
+    the force-field kernel itself on mid-sized systems.  Same routine,
+    same parameters, unbounded problem: the iterates are bit-identical
+    to :func:`scipy.optimize.minimize`'s."""
+    n = x0.size
+    m = _LBFGS_M
+    x = np.array(x0, dtype=np.float64)
+    bound = np.zeros(n)
+    nbd = np.zeros(n, dtype=np.int32)
+    f = np.array(0.0)
+    g = np.zeros(n)
+    wa = np.zeros(2 * m * n + 5 * n + 11 * m * m + 8 * m)
+    iwa = np.zeros(3 * n, dtype=np.int32)
+    task = np.zeros(2, dtype=np.int32)
+    ln_task = np.zeros(2, dtype=np.int32)
+    lsave = np.zeros(4, dtype=np.int32)
+    isave = np.zeros(44, dtype=np.int32)
+    dsave = np.zeros(29)
+    nit = 0
+    nfev = 0
+    while True:
+        _setulb(
+            m, x, bound, bound, nbd, f, g, _LBFGS_FACTR, _LBFGS_GTOL,
+            wa, iwa, task, lsave, isave, dsave, _LBFGS_MAXLS, ln_task,
+        )
+        if task[0] == 3:  # FG: evaluate f and g at the current x
+            f, g = fun(x)
+            nfev += 1
+        elif task[0] == 1:  # NEW_X: one iteration done
+            nit += 1
+            if nit >= maxiter or nfev > _LBFGS_MAXFUN:
+                task[0] = 5  # STOP
+                task[1] = 504
+        else:
+            break
+    return x, float(f), nit
+
+
+def _probe_raw_lbfgsb():
+    """Use the raw driver only if this scipy exposes the expected
+    ``setulb`` API *and* it reproduces ``scipy.optimize.minimize`` on a
+    check problem; otherwise fall back to the public interface."""
+    global _setulb
+    try:
+        from scipy.optimize import _lbfgsb
+
+        _setulb = _lbfgsb.setulb
+    except (ImportError, AttributeError):  # pragma: no cover
+        return _scipy_lbfgs_round
+
+    def quad(v):
+        d = v - np.array([1.0, -2.0, 0.5, 3.0])
+        return float(d @ d), 2.0 * d
+
+    x0 = np.zeros(4)
+    try:
+        x_raw, f_raw, _ = _raw_lbfgs_round(quad, x0, 50)
+        x_ref, f_ref, _ = _scipy_lbfgs_round(quad, x0, 50)
+    except Exception:  # pragma: no cover - any API drift
+        return _scipy_lbfgs_round
+    if np.array_equal(x_raw, x_ref) and f_raw == f_ref:
+        return _raw_lbfgs_round
+    return _scipy_lbfgs_round  # pragma: no cover
+
+
+_setulb = None
+_lbfgs_round = _probe_raw_lbfgsb()
+
 
 @dataclass(frozen=True)
 class MinimizationResult:
@@ -30,8 +129,10 @@ class MinimizationResult:
     initial_energy: float
     final_energy: float
     n_steps: int  # optimizer iterations across all rounds
-    n_rounds: int  # neighbour-list rebuild rounds
+    n_rounds: int  # outer rounds (list rebuild or reuse + L-BFGS pass)
     converged: bool
+    n_neighbor_rebuilds: int = 0  # KD-tree builds (incl. construction)
+    n_neighbor_reuses: int = 0  # rounds that reused the Verlet list
 
     @property
     def energy_drop(self) -> float:
@@ -50,39 +151,45 @@ def minimize_system(
     Rounds of L-BFGS with a frozen neighbour list run until the energy
     improvement of a full round drops below ``energy_tolerance``
     (2.39 kcal/mol), mirroring the unlimited-steps single-minimisation
-    protocol of §3.2.3.
+    protocol of §3.2.3.  The initial energy is taken from the first
+    round's first L-BFGS evaluation (which is at the start point), so no
+    separate full evaluation is spent on it.
     """
     ff = ForceField(system, params)
     x = system.particles.copy()
     shape = x.shape
-    initial_energy = ff.energy(x)
-    prev_energy = initial_energy
+    initial_energy: float | None = None
+    prev_energy = np.inf
     total_steps = 0
     converged = False
     n_rounds = 0
     for _ in range(max_rounds):
         n_rounds += 1
-        ff.rebuild_neighbors(x)
+        ff.ensure_neighbors(x)
 
         def fun(flat: np.ndarray) -> tuple[float, np.ndarray]:
+            nonlocal initial_energy
             e, g = ff.energy_and_gradient(flat.reshape(shape))
+            if initial_energy is None:
+                # L-BFGS-B evaluates the start point first; that is
+                # exactly the seed's separate "initial energy" call.
+                initial_energy = e
             return e, g.ravel()
 
-        res = scipy_minimize(
-            fun,
-            x.ravel(),
-            jac=True,
-            method="L-BFGS-B",
-            options={"maxiter": max_steps_per_round, "ftol": 1e-10, "gtol": 1e-8},
-        )
-        x = res.x.reshape(shape)
-        total_steps += int(res.nit)
-        energy = float(res.fun)
+        x_flat, energy, nit = _lbfgs_round(fun, x.ravel(), max_steps_per_round)
+        x = x_flat.reshape(shape)
+        total_steps += nit
+        if n_rounds == 1:
+            # Round 1 converges against the start-point energy, exactly
+            # as when it was computed with a dedicated call up front.
+            assert initial_energy is not None
+            prev_energy = initial_energy
         if prev_energy - energy < energy_tolerance:
             converged = True
             prev_energy = min(prev_energy, energy)
             break
         prev_energy = energy
+    assert initial_energy is not None
     return MinimizationResult(
         system=system.with_particles(x),
         initial_energy=float(initial_energy),
@@ -90,4 +197,6 @@ def minimize_system(
         n_steps=total_steps,
         n_rounds=n_rounds,
         converged=converged,
+        n_neighbor_rebuilds=ff.n_rebuilds,
+        n_neighbor_reuses=ff.n_reuses,
     )

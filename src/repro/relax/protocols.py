@@ -25,13 +25,14 @@ from dataclasses import dataclass
 from ..sequences.generator import rng_for
 from ..structure.protein import Structure
 from .forcefield import ForceFieldParams
-from .hydrogens import prepare_system
+from .hydrogens import MMSystem, prepare_system
 
 from .minimize import MinimizationResult, minimize_system
 from .violations import ViolationReport, count_violations
 
 __all__ = [
     "RelaxOutcome",
+    "PreparedRelax",
     "SinglePassRelaxProtocol",
     "AlphaFoldRelaxProtocol",
     "relax_structure",
@@ -58,6 +59,20 @@ class RelaxOutcome:
     converged: bool
 
 
+@dataclass(frozen=True)
+class PreparedRelax:
+    """A structure made ready to minimise: system built, census taken.
+
+    Splitting preparation from minimisation lets
+    :func:`repro.relax.batch.relax_many` prepare every system once up
+    front and push only the minimisations through the executor.
+    """
+
+    structure: Structure
+    system: MMSystem
+    violations_before: ViolationReport
+
+
 class SinglePassRelaxProtocol:
     """The paper's optimised protocol: one minimisation, no violation loop.
 
@@ -82,18 +97,30 @@ class SinglePassRelaxProtocol:
         self.params = params
         self.cb_noise_sigma = cb_noise_sigma
 
-    def run(self, structure: Structure) -> RelaxOutcome:
-        before = count_violations(structure)
-        system = prepare_system(
-            structure,
-            cb_noise_sigma=self.cb_noise_sigma,
-            rng=rng_for(0, "relax-cb", structure.record_id, structure.model_name),
+    def prepare(self, structure: Structure) -> PreparedRelax:
+        """Take the violation census and build the MM system (CB noise
+        drawn from the structure-keyed stream, so preparation order
+        never matters)."""
+        return PreparedRelax(
+            structure=structure,
+            system=prepare_system(
+                structure,
+                cb_noise_sigma=self.cb_noise_sigma,
+                rng=rng_for(
+                    0, "relax-cb", structure.record_id, structure.model_name
+                ),
+            ),
+            violations_before=count_violations(structure),
         )
+
+    def run_prepared(self, prepared: PreparedRelax) -> RelaxOutcome:
+        """Minimise an already-prepared system."""
+        system = prepared.system
         result = minimize_system(system, params=self.params)
         relaxed = result.system.to_structure()
         return RelaxOutcome(
             structure=relaxed,
-            violations_before=before,
+            violations_before=prepared.violations_before,
             violations_after=count_violations(relaxed),
             n_minimizations=1,
             total_steps=result.n_steps,
@@ -103,6 +130,9 @@ class SinglePassRelaxProtocol:
             final_energy=result.final_energy,
             converged=result.converged,
         )
+
+    def run(self, structure: Structure) -> RelaxOutcome:
+        return self.run_prepared(self.prepare(structure))
 
 
 class AlphaFoldRelaxProtocol:

@@ -45,6 +45,51 @@ class TestTaskQueue:
         q.shuffle(np.random.default_rng(0))
         assert [t.key for t in q.tasks] != [f"t{i}" for i in range(50)]
 
+    def test_skipped_highmem_task_served_next_in_order(self):
+        """A highmem task skipped by a standard worker must still go to
+        the *next* highmem worker, ahead of younger highmem tasks."""
+        q = TaskQueue()
+        q.submit_many(
+            [
+                TaskSpec(key="std-0"),
+                TaskSpec(key="hm-0", requires_highmem=True),
+                TaskSpec(key="std-1"),
+                TaskSpec(key="hm-1", requires_highmem=True),
+            ]
+        )
+        std, hm = make_workers(2, 1, highmem_nodes=1)
+        assert not std.highmem and hm.highmem
+        # Standard worker skips hm-0 without consuming it.
+        assert q.pop(std).key == "std-0"
+        assert q.pop(hm).key == "hm-0"  # oldest overall it can run
+        assert q.pop(std).key == "std-1"
+        assert q.pop(std) is None  # only hm-1 left; ineligible
+        assert q.pop(hm).key == "hm-1"
+        assert q.pop(hm) is None
+
+    def test_highmem_worker_respects_global_fifo(self):
+        """An unconstrained worker drains both lanes in submission order."""
+        q = TaskQueue()
+        keys = ["a", "b", "c", "d", "e"]
+        q.submit_many(
+            [
+                TaskSpec(key=k, requires_highmem=(k in "bd"))
+                for k in keys
+            ]
+        )
+        hm = make_workers(1, 1, highmem_nodes=1)[0]
+        assert [q.pop(hm).key for _ in range(5)] == keys
+
+    def test_len_and_tasks_span_both_lanes(self):
+        q = TaskQueue()
+        q.submit_many(
+            [TaskSpec(key="s"), TaskSpec(key="h", requires_highmem=True)]
+        )
+        assert len(q) == 2
+        assert [t.key for t in q.tasks] == ["s", "h"]
+        q.sort_descending()
+        assert len(q) == 2
+
 
 class TestWorkers:
     def test_one_per_gpu(self):

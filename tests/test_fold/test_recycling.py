@@ -31,6 +31,33 @@ def test_signature_subsamples_long_chains():
     assert sig.shape[0] <= 450
 
 
+@pytest.mark.parametrize("length", [5, 120, 399, 400, 401, 900])
+def test_gemm_matches_reference_across_subsample_threshold(length):
+    """The GEMM distogram equals the broadcast reference for lengths on
+    both sides of the 400-row subsample threshold."""
+    from repro.fold.recycling import distogram_signature_reference
+
+    factory = NativeFactory(SequenceUniverse(9))
+    ca = factory.family_fold(1000 + length, length)
+    fast = distogram_signature(ca)
+    ref = distogram_signature_reference(ca)
+    assert fast.shape == ref.shape
+    np.testing.assert_allclose(fast, ref, rtol=1e-9, atol=1e-6)
+
+
+def test_gemm_reuses_caller_buffer(fold):
+    sig = distogram_signature(fold)
+    out = np.empty_like(sig)
+    again = distogram_signature(fold, out=out)
+    assert again is out
+    np.testing.assert_array_equal(again, sig)
+    # Mismatched buffers are ignored, not an error.
+    wrong = np.empty((3, 3))
+    fresh = distogram_signature(fold, out=wrong)
+    assert fresh is not wrong
+    np.testing.assert_array_equal(fresh, sig)
+
+
 def test_change_zero_for_identical(fold):
     sig = distogram_signature(fold)
     assert distogram_change(sig, sig) == 0.0

@@ -1,0 +1,71 @@
+"""Batched relaxation (:func:`relax_many`) vs the serial protocol loop."""
+
+import numpy as np
+import pytest
+
+from repro.fold import NativeFactory, PredictionConfig, SurrogateFoldModel
+from repro.msa import generate_features
+from repro.relax import SinglePassRelaxProtocol, relax_many
+from repro.relax.batch import _as_mapping
+
+
+@pytest.fixture(scope="module")
+def structures(universe, proteome, suite):
+    factory = NativeFactory(universe)
+    model = SurrogateFoldModel(factory, 1)
+    cfg = PredictionConfig(max_recycles=3)
+    out = {}
+    for rec in list(proteome)[:5]:
+        pred = model.predict(generate_features(rec, suite), cfg)
+        out[rec.record_id] = pred.structure
+    return out
+
+
+def test_batched_matches_serial(structures):
+    """Worker threads and dispatch order must not change any outcome."""
+    serial = {
+        key: SinglePassRelaxProtocol(device="gpu").run(s)
+        for key, s in structures.items()
+    }
+    batch = relax_many(structures, device="gpu", n_workers=4)
+    assert set(batch.outcomes) == set(serial)
+    for key, expected in serial.items():
+        got = batch.outcomes[key]
+        np.testing.assert_array_equal(got.structure.ca, expected.structure.ca)
+        assert got.violations_before == expected.violations_before
+        assert got.violations_after == expected.violations_after
+        assert got.final_energy == expected.final_energy
+        assert got.total_steps == expected.total_steps
+        assert got.converged == expected.converged
+
+
+def test_worker_count_invariance(structures):
+    one = relax_many(structures, device="gpu", n_workers=1)
+    four = relax_many(structures, device="gpu", n_workers=4)
+    for key in structures:
+        np.testing.assert_array_equal(
+            one.outcomes[key].structure.ca, four.outcomes[key].structure.ca
+        )
+
+
+def test_iterable_input_keyed_by_record_id(structures):
+    batch = relax_many(list(structures.values()), device="gpu")
+    assert set(batch.outcomes) == set(structures)
+
+
+def test_as_mapping_disambiguates_duplicates(structures):
+    first = next(iter(structures.values()))
+    mapping = _as_mapping([first, first])
+    assert len(mapping) == 2
+    assert first.record_id in mapping
+
+
+def test_batch_result_accounting(structures):
+    batch = relax_many(structures, device="gpu")
+    assert batch.walltime_seconds > 0
+    assert batch.models_per_second > 0
+    clashes, bumps = batch.total_violations_after()
+    assert clashes == 0
+    assert bumps >= 0
+    assert len(batch.execution.records) == len(structures)
+    assert all(r.ok for r in batch.execution.records)
