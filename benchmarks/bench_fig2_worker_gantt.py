@@ -5,6 +5,12 @@ proteome-scale task set and regenerates the Gantt view: with the
 paper's greedy descending-length submission order, long tasks run first
 and all workers finish within minutes of one another; with random
 order, a few workers process long tasks alone at the end.
+
+The Gantt is derived from the telemetry trace exporter — records become
+spans, spans become a Chrome ``trace_event`` object, and the worker
+lanes are read back out of that artifact — with the legacy in-memory
+:func:`extract_gantt` path kept as the equality oracle, so the exported
+``trace.json`` is proven to carry the whole figure.
 """
 
 import numpy as np
@@ -12,6 +18,7 @@ import pytest
 
 from repro.cluster import inference_task_seconds
 from repro.dataflow import (
+    GanttLane,
     TaskSpec,
     extract_gantt,
     make_workers,
@@ -19,6 +26,13 @@ from repro.dataflow import (
     simulate_dataflow,
 )
 from repro.sequences import rng_for
+from repro.telemetry import (
+    SIM_PID,
+    chrome_trace,
+    lanes_from_trace,
+    spans_from_records,
+    validate_chrome_trace,
+)
 from conftest import save_result
 
 N_NODES = 200  # 1200 workers, matching Fig. 2's caption
@@ -59,7 +73,32 @@ def test_fig2_worker_gantt(benchmark, tasks):
         sort_descending=False,
         rng=np.random.default_rng(0),
     )
-    lanes = extract_gantt(sorted_run.records, max_workers=10)
+    # Fig. 2 now comes out of the telemetry artifact: records -> spans ->
+    # Chrome trace -> lanes.  The legacy in-memory extraction is the
+    # equality oracle below.
+    trace = chrome_trace(spans_from_records(sorted_run.records))
+    assert validate_chrome_trace(trace) == []
+    trace_lanes = lanes_from_trace(trace, pid=SIM_PID)
+    legacy = extract_gantt(sorted_run.records)
+    assert set(trace_lanes) == {w.worker_id for w in workers}
+    legacy_by_id = {
+        lane.short_id: lane for lane in legacy
+    }
+    for worker_id, intervals in trace_lanes.items():
+        oracle = legacy_by_id[worker_id[-6:]]
+        busy_trace = sum(e - s for s, e in intervals)
+        # Timestamps round-trip through fractional microseconds; busy
+        # seconds must survive to float precision.
+        assert len(intervals) == oracle.n_tasks
+        assert busy_trace == pytest.approx(oracle.busy_seconds, rel=1e-9)
+
+    # Render the usual 10-lane sample, but from the trace-derived
+    # intervals (same sampling as before, keyed by short id).
+    by_short = {wid[-6:]: intervals for wid, intervals in trace_lanes.items()}
+    lanes = [
+        GanttLane(short_id=lane.short_id, intervals=tuple(by_short[lane.short_id]))
+        for lane in extract_gantt(sorted_run.records, max_workers=10)
+    ]
     art = render_ascii_gantt(lanes, width=100)
     spread_sorted = sorted_run.finish_spread_seconds() / 60
     spread_random = random_run.finish_spread_seconds() / 60

@@ -28,6 +28,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .telemetry.metrics import get_metrics
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .msa.databases import LibrarySuite
     from .msa.features import FeatureBundle, FeatureGenConfig
@@ -132,6 +134,18 @@ class FeatureCache:
                 self._misses += 1
             else:
                 self._hits += 1
+        # Every lookup also lands on the active metrics registry — the
+        # shared substrate stage results and exports read, replacing the
+        # per-stage snapshot/delta plumbing the pipeline used to carry.
+        # Both counters are touched so an all-miss (or all-hit) run still
+        # exports the other one as an explicit zero.
+        metrics = get_metrics()
+        hits = metrics.counter("feature.cache.hits")
+        misses = metrics.counter("feature.cache.misses")
+        if bundle is None:
+            misses.inc()
+        else:
+            hits.inc()
         if bundle is not None and record is not None:
             bundle = replace(bundle, record=record)
         return bundle

@@ -1,13 +1,15 @@
 """Command-line interface.
 
-Four subcommands mirror how the paper's pipeline was actually driven:
+Five subcommands mirror how the paper's pipeline was actually driven:
 
 * ``repro predict``   — features + inference + relaxation for a proteome
   sample; writes relaxed PDBs and a per-target CSV.
 * ``repro campaign``  — the full three-stage simulated deployment with
-  node-hour accounting and the proteome confidence summary.
+  node-hour accounting and the proteome confidence summary; with
+  ``--telemetry-dir`` it also exports the run's trace/metrics/manifest.
 * ``repro relax``     — relax an existing (CA-trace) PDB file.
 * ``repro table1``    — a scaled-down regeneration of Table 1.
+* ``repro report``    — render a saved telemetry run directory.
 
 All commands are seeded and deterministic.
 """
@@ -53,6 +55,8 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--feature-nodes", type=int, default=24)
     c.add_argument("--inference-nodes", type=int, default=16)
     c.add_argument("--relax-nodes", type=int, default=4)
+    c.add_argument("--telemetry-dir", type=Path, default=None,
+                   help="export manifest.json/trace.json/metrics.json here")
 
     r = sub.add_parser("relax", help="relax a CA-trace PDB file")
     r.add_argument("pdb", type=Path)
@@ -64,6 +68,10 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--seed", type=int, default=0)
     t.add_argument("--presets", nargs="+",
                    default=["reduced_db", "genome", "super", "casp14"])
+
+    v = sub.add_parser("report", help="render a saved telemetry run")
+    v.add_argument("run_dir", type=Path,
+                   help="directory holding manifest.json/trace.json/metrics.json")
     return parser
 
 
@@ -144,11 +152,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     suite = build_suite(
         universe, [args.species], seed=args.seed, scale=args.scale
     ).reduced()
+    session = None
+    if args.telemetry_dir is not None:
+        from .telemetry import TelemetrySession
+
+        session = TelemetrySession(args.telemetry_dir)
+        session.annotate(seed=args.seed, species=args.species)
     pipeline = ProteomePipeline(
         preset_name=args.preset,
         feature_nodes=args.feature_nodes,
         inference_nodes=args.inference_nodes,
         relax_nodes=args.relax_nodes,
+        telemetry=session,
     )
     result = pipeline.run(proteome, suite, NativeFactory(universe))
     fs, inf, rx = result.feature_stage, result.inference_stage, result.relax_stage
@@ -173,6 +188,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     if inf.oom_failures:
         print(f"failures : {len(inf.oom_failures)} OOM tasks")
+    if session is not None:
+        print(f"telemetry: {args.telemetry_dir}/ "
+              f"(view with `repro report {args.telemetry_dir}`)")
     return 0
 
 
@@ -221,6 +239,18 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .telemetry import load_run, render_report
+
+    try:
+        artifacts = load_run(args.run_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro report: {exc}", file=sys.stderr)
+        return 1
+    print(render_report(artifacts))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -228,6 +258,7 @@ def main(argv: list[str] | None = None) -> int:
         "campaign": _cmd_campaign,
         "relax": _cmd_relax,
         "table1": _cmd_table1,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

@@ -49,6 +49,9 @@ from ..relax.batch import relax_many
 from ..relax.protocols import RelaxOutcome
 from ..sequences.proteome import SPECIES, Proteome
 from ..structure.protein import Structure
+from ..telemetry.metrics import get_metrics
+from ..telemetry.session import TelemetrySession
+from ..telemetry.tracer import get_tracer, spans_from_records
 from .presets import Preset, get_preset
 
 __all__ = [
@@ -105,11 +108,21 @@ class FeatureStageResult:
     n_nodes: int
     machine: MachineSpec
     plan: ReplicationPlan
-    #: Feature-cache counters for this stage run (zero without a cache).
-    cache_hits: int = 0
-    cache_misses: int = 0
+    #: Counter movement on the metrics registry during this stage run
+    #: (the ``stage.task.event``-named deltas this stage produced).
+    stage_metrics: dict[str, float] = field(default_factory=dict)
     #: The threaded run that computed the features for real.
     execution: ExecutionResult | None = None
+
+    @property
+    def cache_hits(self) -> int:
+        """Feature-cache hits this stage (thin view over the metrics)."""
+        return int(self.stage_metrics.get("feature.cache.hits", 0))
+
+    @property
+    def cache_misses(self) -> int:
+        """Feature-cache misses this stage (thin view over the metrics)."""
+        return int(self.stage_metrics.get("feature.cache.misses", 0))
 
     @property
     def node_hours(self) -> float:
@@ -127,6 +140,8 @@ class InferenceStageResult:
     n_nodes: int
     machine: MachineSpec
     preset: Preset
+    #: Counter movement on the metrics registry during this stage run.
+    stage_metrics: dict[str, float] = field(default_factory=dict)
     #: The threaded run that computed the predictions for real.
     execution: ExecutionResult | None = None
 
@@ -155,8 +170,20 @@ class RelaxStageResult:
     simulation: SimulationResult
     n_nodes: int
     machine: MachineSpec
+    #: Counter movement on the metrics registry during this stage run.
+    stage_metrics: dict[str, float] = field(default_factory=dict)
     #: The threaded run that computed the relaxations for real.
     execution: ExecutionResult | None = None
+
+    @property
+    def verlet_rebuilds(self) -> int:
+        """Neighbour-list rebuilds this stage (thin view over metrics)."""
+        return int(self.stage_metrics.get("relax.verlet.rebuilds", 0))
+
+    @property
+    def verlet_reuses(self) -> int:
+        """Neighbour-list reuses this stage (thin view over metrics)."""
+        return int(self.stage_metrics.get("relax.verlet.reuses", 0))
 
     @property
     def node_hours(self) -> float:
@@ -210,6 +237,34 @@ class ProteomePipeline:
     compute_workers: int = 0
     #: Optional content-addressed cache for the feature stage.
     feature_cache: FeatureCache | None = None
+    #: Optional telemetry session.  When set, :meth:`run` activates its
+    #: tracer/metrics for the whole campaign and (if the session has a
+    #: ``run_dir``) exports ``manifest.json`` + ``trace.json`` +
+    #: ``metrics.json`` on completion.  Stage methods always emit spans
+    #: and metrics to whatever tracer/registry is active; without a
+    #: session that is the no-op tracer and the default registry.
+    telemetry: TelemetrySession | None = None
+
+    def _extend_sim_spans(self, tracer, sim, span, stage: str) -> None:
+        """Attach a stage's simulated task spans to the active trace.
+
+        Each ``simulate_dataflow`` run starts its clock at 0, but the
+        campaign's stages executed sequentially; a cumulative offset
+        places every stage after the previous one on the simulated
+        timeline, so lanes never overlap and trace-derived utilization
+        stays physical.  (``_run_stages`` resets the offset per run.)
+        """
+        offset = getattr(self, "_sim_offset", 0.0)
+        tracer.extend(
+            spans_from_records(
+                sim.records,
+                parent=span,
+                clock="sim",
+                offset=offset,
+                attrs={"stage": stage},
+            )
+        )
+        self._sim_offset = offset + sim.walltime_seconds
 
     def _executor(self, n_items: int, highmem_workers: int = 0) -> ThreadedExecutor:
         n = self.compute_workers
@@ -240,48 +295,62 @@ class ProteomePipeline:
             )
             for record in records
         ]
-        stats_before = (
-            self.feature_cache.stats if self.feature_cache is not None else None
-        )
-        execution = self._executor(len(tasks)).map(
-            lambda record: generate_features(
-                record, suite, self.feature_config, cache=self.feature_cache
-            ),
-            tasks,
-        )
-        _raise_on_failures(execution.records, "feature generation")
-        features = {r.record_id: execution.results[r.record_id] for r in records}
-        hits = misses = 0
-        if stats_before is not None:
-            assert self.feature_cache is not None
-            delta = self.feature_cache.stats.since(stats_before)
-            hits, misses = delta.hits, delta.misses
-        # One search job per concurrent slot: the plan's replica layout
-        # bounds useful concurrency regardless of node count.  Never
-        # exceed the plan's slot count — running more concurrent
-        # searches than replicas support breaks the §3.2.1 contention
-        # bound the cost model assumes.
-        n_workers = min(plan.n_concurrent_jobs, self.feature_nodes * 4)
-        n_nodes = min(self.feature_nodes, n_workers)
-        per_node = -(-n_workers // n_nodes)  # ceil
-        workers = make_workers(n_nodes, per_node)[:n_workers]
-
-        def duration(task: TaskSpec) -> float:
-            return feature_task_seconds(
-                int(task.size_hint),
-                dataset_fraction=max(dataset_fraction, 1e-3),
-                io_contention=contention,
+        tracer = get_tracer()
+        metrics = get_metrics()
+        counters_before = metrics.counter_values()
+        with tracer.span(
+            "stage",
+            "features",
+            ambient=True,
+            attrs={
+                "n_tasks": len(tasks),
+                "machine": self.feature_machine.name,
+                "n_nodes": self.feature_nodes,
+            },
+        ) as span:
+            execution = self._executor(len(tasks)).map(
+                lambda record: generate_features(
+                    record, suite, self.feature_config, cache=self.feature_cache
+                ),
+                tasks,
+                stage="feature",
             )
+            _raise_on_failures(execution.records, "feature generation")
+            features = {
+                r.record_id: execution.results[r.record_id] for r in records
+            }
+            # One search job per concurrent slot: the plan's replica layout
+            # bounds useful concurrency regardless of node count.  Never
+            # exceed the plan's slot count — running more concurrent
+            # searches than replicas support breaks the §3.2.1 contention
+            # bound the cost model assumes.
+            n_workers = min(plan.n_concurrent_jobs, self.feature_nodes * 4)
+            n_nodes = min(self.feature_nodes, n_workers)
+            per_node = -(-n_workers // n_nodes)  # ceil
+            workers = make_workers(n_nodes, per_node)[:n_workers]
 
-        sim = simulate_dataflow(tasks, workers, duration)
+            def duration(task: TaskSpec) -> float:
+                return feature_task_seconds(
+                    int(task.size_hint),
+                    dataset_fraction=max(dataset_fraction, 1e-3),
+                    io_contention=contention,
+                )
+
+            sim = simulate_dataflow(tasks, workers, duration)
+            if span is not None:
+                span.set_attr("n_workers", n_workers)
+                span.set_attr("sim_walltime_seconds", sim.walltime_seconds)
+            if tracer.enabled:
+                self._extend_sim_spans(tracer, sim, span, "features")
         return FeatureStageResult(
             features=features,
             simulation=sim,
             n_nodes=self.feature_nodes,
             machine=self.feature_machine,
             plan=plan,
-            cache_hits=hits,
-            cache_misses=misses,
+            stage_metrics=metrics.delta(
+                counters_before, metrics.counter_values()
+            ),
             execution=execution,
         )
 
@@ -306,6 +375,9 @@ class ProteomePipeline:
         is off, since escalation needs somewhere to escalate to).
         """
         preset = get_preset(preset_name or self.preset_name)
+        tracer = get_tracer()
+        metrics = get_metrics()
+        counters_before = metrics.counter_values()
         bank = [SurrogateFoldModel(factory, i) for i in range(5)]
         tasks: list[TaskSpec] = []
         memory_needed: dict[str, int] = {}
@@ -360,57 +432,83 @@ class ProteomePipeline:
             else None
         )
         exec_highmem = 1 if (self.use_highmem_routing or highmem_nodes > 0) else 0
-        execution = self._executor(len(tasks), highmem_workers=exec_highmem).map(
-            run_model, tasks, retry_policy=exec_policy, pass_spec=True
-        )
-        _raise_on_failures(
-            execution.records, "inference", allow=is_oom_error
-        )
+        with tracer.span(
+            "stage",
+            "inference",
+            ambient=True,
+            attrs={
+                "n_tasks": len(tasks),
+                "preset": preset.name,
+                "machine": self.gpu_machine.name,
+                "n_nodes": self.inference_nodes,
+                "highmem_nodes": highmem_nodes,
+            },
+        ) as span:
+            execution = self._executor(
+                len(tasks), highmem_workers=exec_highmem
+            ).map(
+                run_model,
+                tasks,
+                retry_policy=exec_policy,
+                pass_spec=True,
+                stage="inference",
+            )
+            _raise_on_failures(
+                execution.records, "inference", allow=is_oom_error
+            )
 
-        predictions: dict[str, list[Prediction]] = {}
-        oom: list[tuple[str, str]] = []
-        durations: dict[str, float] = {}
-        for record_id, bundle in features.items():
-            for model in bank:
-                key = f"{record_id}/{model.name}"
-                pred = execution.results.get(key)
-                if pred is None:
-                    oom.append((record_id, model.name))
-                    durations[key] = inference_task_seconds(
-                        bundle.length,
-                        preset.config(
-                            kingdom_bias=biases[key]
-                        ).recycle_cap(bundle.length),
-                        preset.n_ensembles,
+            predictions: dict[str, list[Prediction]] = {}
+            oom: list[tuple[str, str]] = []
+            durations: dict[str, float] = {}
+            for record_id, bundle in features.items():
+                for model in bank:
+                    key = f"{record_id}/{model.name}"
+                    pred = execution.results.get(key)
+                    if pred is None:
+                        oom.append((record_id, model.name))
+                        durations[key] = inference_task_seconds(
+                            bundle.length,
+                            preset.config(
+                                kingdom_bias=biases[key]
+                            ).recycle_cap(bundle.length),
+                            preset.n_ensembles,
+                        )
+                    else:
+                        predictions.setdefault(record_id, []).append(pred)
+                        durations[key] = inference_task_seconds(
+                            bundle.length, pred.n_recycles, preset.n_ensembles
+                        )
+            if oom:
+                metrics.counter("inference.oom.lost_tasks").inc(len(oom))
+            workers = make_workers(
+                self.inference_nodes,
+                self.gpu_machine.gpus_per_node,
+                highmem_nodes=highmem_nodes,
+            )
+
+            def oom_failure(task: TaskSpec, worker: WorkerInfo) -> str | None:
+                budget = hm_budget if worker.highmem else std_budget
+                if memory_needed[task.key] > budget:
+                    return (
+                        f"OutOfMemoryError: {task.key} needs "
+                        f"{memory_needed[task.key] / 2**30:.1f} GiB, worker "
+                        f"budget is {budget / 2**30:.1f} GiB"
                     )
-                else:
-                    predictions.setdefault(record_id, []).append(pred)
-                    durations[key] = inference_task_seconds(
-                        bundle.length, pred.n_recycles, preset.n_ensembles
-                    )
-        workers = make_workers(
-            self.inference_nodes,
-            self.gpu_machine.gpus_per_node,
-            highmem_nodes=highmem_nodes,
-        )
+                return None
 
-        def oom_failure(task: TaskSpec, worker: WorkerInfo) -> str | None:
-            budget = hm_budget if worker.highmem else std_budget
-            if memory_needed[task.key] > budget:
-                return (
-                    f"OutOfMemoryError: {task.key} needs "
-                    f"{memory_needed[task.key] / 2**30:.1f} GiB, worker "
-                    f"budget is {budget / 2**30:.1f} GiB"
-                )
-            return None
-
-        sim = simulate_dataflow(
-            tasks,
-            workers,
-            lambda t: durations[t.key],
-            failure_fn=oom_failure,
-            retry_policy=retry_policy,
-        )
+            sim = simulate_dataflow(
+                tasks,
+                workers,
+                lambda t: durations[t.key],
+                failure_fn=oom_failure,
+                retry_policy=retry_policy,
+            )
+            if span is not None:
+                span.set_attr("n_workers", len(workers))
+                span.set_attr("sim_walltime_seconds", sim.walltime_seconds)
+                span.set_attr("n_oom_failures", len(oom))
+            if tracer.enabled:
+                self._extend_sim_spans(tracer, sim, span, "inference")
         top = {
             rid: max(preds, key=lambda p: p.ptms)
             for rid, preds in predictions.items()
@@ -424,6 +522,9 @@ class ProteomePipeline:
             n_nodes=self.inference_nodes,
             machine=self.gpu_machine,
             preset=preset,
+            stage_metrics=metrics.delta(
+                counters_before, metrics.counter_values()
+            ),
             execution=execution,
         )
 
@@ -438,44 +539,65 @@ class ProteomePipeline:
         task per structure — the same decomposition the simulated
         workflow uses.
         """
-        batch = relax_many(
-            structures, device="gpu", executor=self._executor(len(structures))
-        )
-        outcomes: dict[str, RelaxOutcome] = batch.outcomes
-        tasks = [
-            TaskSpec(key=record_id, payload=structure, size_hint=len(structure))
-            for record_id, structure in structures.items()
-        ]
-        durations = {
-            record_id: relax_task_seconds(
-                outcome.n_heavy_atoms, outcome.n_minimizations, device="gpu"
+        tracer = get_tracer()
+        metrics = get_metrics()
+        counters_before = metrics.counter_values()
+        with tracer.span(
+            "stage",
+            "relax",
+            ambient=True,
+            attrs={
+                "n_tasks": len(structures),
+                "machine": self.gpu_machine.name,
+                "n_nodes": self.relax_nodes,
+            },
+        ) as span:
+            batch = relax_many(
+                structures,
+                device="gpu",
+                executor=self._executor(len(structures)),
             )
-            for record_id, outcome in outcomes.items()
-        }
-        workers = make_workers(
-            self.relax_nodes, self.gpu_machine.gpus_per_node
-        )
-        sim = simulate_dataflow(tasks, workers, lambda t: durations[t.key])
+            outcomes: dict[str, RelaxOutcome] = batch.outcomes
+            tasks = [
+                TaskSpec(
+                    key=record_id, payload=structure, size_hint=len(structure)
+                )
+                for record_id, structure in structures.items()
+            ]
+            durations = {
+                record_id: relax_task_seconds(
+                    outcome.n_heavy_atoms, outcome.n_minimizations, device="gpu"
+                )
+                for record_id, outcome in outcomes.items()
+            }
+            workers = make_workers(
+                self.relax_nodes, self.gpu_machine.gpus_per_node
+            )
+            sim = simulate_dataflow(tasks, workers, lambda t: durations[t.key])
+            if span is not None:
+                span.set_attr("n_workers", len(workers))
+                span.set_attr("sim_walltime_seconds", sim.walltime_seconds)
+            if tracer.enabled:
+                self._extend_sim_spans(tracer, sim, span, "relax")
         return RelaxStageResult(
             outcomes=outcomes,
             simulation=sim,
             n_nodes=self.relax_nodes,
             machine=self.gpu_machine,
+            stage_metrics=metrics.delta(
+                counters_before, metrics.counter_values()
+            ),
             execution=batch.execution,
         )
 
     # -- Full campaign -------------------------------------------------------
-    def run(
+    def _run_stages(
         self,
         proteome: Proteome,
         suite: LibrarySuite,
-        factory: NativeFactory | None = None,
+        factory: NativeFactory,
     ) -> PipelineResult:
-        if factory is None:
-            raise ValueError(
-                "pass the NativeFactory built on the same universe as the "
-                "proteome — predictions are meaningless otherwise"
-            )
+        self._sim_offset = 0.0
         feature_stage = self.run_feature_stage(proteome, suite)
         inference_stage = self.run_inference_stage(
             feature_stage.features, factory
@@ -491,3 +613,47 @@ class ProteomePipeline:
             inference_stage=inference_stage,
             relax_stage=relax_stage,
         )
+
+    def run(
+        self,
+        proteome: Proteome,
+        suite: LibrarySuite,
+        factory: NativeFactory | None = None,
+    ) -> PipelineResult:
+        if factory is None:
+            raise ValueError(
+                "pass the NativeFactory built on the same universe as the "
+                "proteome — predictions are meaningless otherwise"
+            )
+        session = self.telemetry
+        if session is None:
+            return self._run_stages(proteome, suite, factory)
+        with session.activate():
+            tracer = session.tracer
+            t_start = tracer.now()
+            with tracer.span(
+                "run",
+                "proteome_campaign",
+                ambient=True,
+                attrs={
+                    "preset": self.preset_name,
+                    "n_targets": len(proteome),
+                },
+            ):
+                result = self._run_stages(proteome, suite, factory)
+            wall_seconds = tracer.now() - t_start
+        session.annotate(
+            preset=self.preset_name,
+            n_targets=len(proteome),
+            library_fingerprint=suite.fingerprint(),
+            wall_seconds=wall_seconds,
+            sim_walltime_seconds={
+                "features": result.feature_stage.simulation.walltime_seconds,
+                "inference": result.inference_stage.simulation.walltime_seconds,
+                "relax": result.relax_stage.simulation.walltime_seconds,
+            },
+            node_hours=result.total_node_hours,
+        )
+        if session.run_dir is not None:
+            session.export()
+        return result

@@ -20,6 +20,8 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Iterable
 
+from ..telemetry.metrics import get_metrics
+from ..telemetry.tracer import get_tracer
 from .faults import RetryPolicy
 from .reporting import lost_keys as _lost_keys
 from .reporting import write_task_csv
@@ -81,6 +83,7 @@ class ThreadedExecutor:
         retry_policy: RetryPolicy | None = None,
         failure_fn: Callable[[TaskSpec, WorkerInfo], str | None] | None = None,
         pass_spec: bool = False,
+        stage: str = "dataflow",
     ) -> ExecutionResult:
         """Apply ``func`` to items given as (key, payload, size_hint).
 
@@ -96,6 +99,12 @@ class ThreadedExecutor:
         :class:`TaskSpec` of the *current attempt* instead of just the
         payload — attempt-dependent behaviour (e.g. a memory budget that
         grows when a retry escalates to highmem) needs the live spec.
+
+        ``stage`` labels the telemetry this run emits: every attempt
+        becomes a ``task`` span (worker/lane/attempt attributes) under
+        the caller's open stage span, and latency/failure/retry counts
+        land on dotted ``<stage>.task.*`` metrics.  With the default
+        no-op tracer the per-task cost is one branch.
         """
         queue = TaskQueue()
         for item in items:
@@ -119,6 +128,14 @@ class ThreadedExecutor:
         records: list[TaskRecord] = []
         results: dict[str, Any] = {}
         in_flight = 0
+        tracer = get_tracer()
+        metrics = get_metrics()
+        # Created eagerly so a clean run still exports zeroed counters.
+        latency = metrics.histogram(f"{stage}.task.latency_seconds")
+        failures = metrics.counter(f"{stage}.task.failures")
+        retries = metrics.counter(f"{stage}.task.retries")
+        escalations = metrics.counter(f"{stage}.task.oom_escalations")
+        unschedulable = metrics.counter(f"{stage}.task.unschedulable")
         t0 = time.perf_counter()
 
         def run_worker(worker: WorkerInfo) -> None:
@@ -137,17 +154,35 @@ class ThreadedExecutor:
                     in_flight += 1
                 start = time.perf_counter() - t0
                 ok, error, value = True, "", None
-                injected = (
-                    failure_fn(task, worker) if failure_fn is not None else None
-                )
-                if injected is not None:
-                    ok, error = False, injected
-                else:
-                    try:
-                        value = func(task) if pass_spec else func(task.payload)
-                    except Exception as exc:  # noqa: BLE001 - per-task isolation
-                        ok, error = False, f"{type(exc).__name__}: {exc}"
+                with tracer.span(
+                    "task",
+                    task.key,
+                    attrs={
+                        "worker": worker.worker_id,
+                        "lane": worker.short_id,
+                        "attempt": task.attempt,
+                        "highmem": worker.highmem,
+                        "stage": stage,
+                    },
+                ) as span:
+                    injected = (
+                        failure_fn(task, worker) if failure_fn is not None else None
+                    )
+                    if injected is not None:
+                        ok, error = False, injected
+                    else:
+                        try:
+                            value = func(task) if pass_spec else func(task.payload)
+                        except Exception as exc:  # noqa: BLE001 - per-task isolation
+                            ok, error = False, f"{type(exc).__name__}: {exc}"
+                    if span is not None:
+                        span.set_attr("ok", ok)
                 end = time.perf_counter() - t0
+                latency.observe(end - start)
+                if not ok:
+                    failures.inc()
+                if task.attempt > 1:
+                    retries.inc()
                 record = TaskRecord(
                     key=task.key,
                     worker_id=worker.worker_id,
@@ -165,6 +200,13 @@ class ThreadedExecutor:
                     and retry_policy.should_retry(task.attempt)
                 ):
                     respawn = retry_policy.next_task(task, error)
+                    if respawn.requires_highmem and not task.requires_highmem:
+                        escalations.inc()
+                        tracer.event(
+                            f"{stage}.task.oom_escalation",
+                            category="dataflow",
+                            attrs={"key": task.key, "attempt": task.attempt},
+                        )
                     backoff = retry_policy.backoff_for(task.attempt)
                     if backoff > 0:
                         # The task slot stays in flight during backoff so
@@ -194,6 +236,8 @@ class ThreadedExecutor:
             task = queue.pop()
             if task is None:
                 break
+            unschedulable.inc()
+            failures.inc()
             records.append(
                 TaskRecord(
                     key=task.key,

@@ -18,6 +18,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..telemetry.metrics import get_metrics
+
 __all__ = ["TaskSpec", "TaskRecord", "WorkerInfo", "TaskQueue"]
 
 
@@ -97,6 +99,22 @@ class TaskQueue:
     _standard: deque[tuple[int, TaskSpec]] = field(default_factory=deque)
     _highmem: deque[tuple[int, TaskSpec]] = field(default_factory=deque)
     _seq: int = 0
+    # Dispatch counters, re-resolved only when the active registry
+    # changes so the hot pop path pays one identity check, not a
+    # registry lookup, per dispatch.
+    _dispatch_registry: Any = field(default=None, repr=False, compare=False)
+    _dispatch_counters: Any = field(default=None, repr=False, compare=False)
+
+    def _count_dispatch(self, task: TaskSpec) -> TaskSpec:
+        registry = get_metrics()
+        if registry is not self._dispatch_registry:
+            self._dispatch_counters = (
+                registry.counter("dataflow.dispatch.standard"),
+                registry.counter("dataflow.dispatch.highmem"),
+            )
+            self._dispatch_registry = registry
+        self._dispatch_counters[1 if task.requires_highmem else 0].inc()
+        return task
 
     @property
     def tasks(self) -> list[TaskSpec]:
@@ -141,16 +159,20 @@ class TaskQueue:
         """
         if worker is None or worker.highmem:
             if not self._highmem:
-                return self._standard.popleft()[1] if self._standard else None
+                if not self._standard:
+                    return None
+                return self._count_dispatch(self._standard.popleft()[1])
             if not self._standard:
-                return self._highmem.popleft()[1]
+                return self._count_dispatch(self._highmem.popleft()[1])
             lane = (
                 self._standard
                 if self._standard[0][0] < self._highmem[0][0]
                 else self._highmem
             )
-            return lane.popleft()[1]
-        return self._standard.popleft()[1] if self._standard else None
+            return self._count_dispatch(lane.popleft()[1])
+        if not self._standard:
+            return None
+        return self._count_dispatch(self._standard.popleft()[1])
 
     def __len__(self) -> int:
         return len(self._standard) + len(self._highmem)

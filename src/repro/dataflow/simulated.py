@@ -21,6 +21,7 @@ from ..cluster.costmodel import (
     SCHEDULER_STARTUP_SECONDS,
 )
 from ..cluster.simclock import SimClock
+from ..telemetry.metrics import get_metrics
 from .faults import RetryPolicy
 from .reporting import lost_keys as _lost_keys
 from .scheduler import TaskQueue, TaskRecord, TaskSpec, WorkerInfo
@@ -151,6 +152,14 @@ def simulate_dataflow(
     elif rng is not None:
         queue.shuffle(rng)
 
+    # Simulated-run counters, resolved once per run (the per-event cost
+    # inside the loop is a plain method call on a bound counter).
+    metrics = get_metrics()
+    sim_failures = metrics.counter("sim.dataflow.task.failures")
+    sim_retries = metrics.counter("sim.dataflow.task.retries")
+    sim_escalations = metrics.counter("sim.dataflow.task.oom_escalations")
+    sim_unschedulable = metrics.counter("sim.dataflow.task.unschedulable")
+
     clock = SimClock()
     records: list[TaskRecord] = []
     idle: list[WorkerInfo] = []
@@ -187,12 +196,18 @@ def simulate_dataflow(
                     attempt=task.attempt,
                 )
             )
+            if error is not None:
+                sim_failures.inc()
+            if task.attempt > 1:
+                sim_retries.inc()
             if (
                 error is not None
                 and retry_policy is not None
                 and retry_policy.should_retry(task.attempt)
             ):
                 respawn = retry_policy.next_task(task, error)
+                if respawn.requires_highmem and not task.requires_highmem:
+                    sim_escalations.inc()
 
                 def resubmit() -> None:
                     queue.submit(respawn)
@@ -212,6 +227,8 @@ def simulate_dataflow(
         task = queue.pop()
         if task is None:
             break
+        sim_unschedulable.inc()
+        sim_failures.inc()
         records.append(
             TaskRecord(
                 key=task.key,

@@ -29,6 +29,8 @@ from ..constants import (
     MIN_RECYCLES_LONG_SEQUENCE,
     RECYCLE_TAPER_START_LENGTH,
 )
+from ..telemetry.metrics import get_metrics
+from ..telemetry.tracer import get_tracer
 
 __all__ = [
     "distogram_signature",
@@ -145,7 +147,38 @@ class RecycleController:
         self._spare = self._previous
         self._previous = sig
         if self.n_recycles >= self.cap:
+            self._record_stop("cap")
             return True
         if self.tolerance is None:
             return False
-        return self.n_recycles >= 2 and self.last_change < self.tolerance
+        if self.n_recycles >= 2 and self.last_change < self.tolerance:
+            self._record_stop("early")
+            return True
+        return False
+
+    def _record_stop(self, reason: str) -> None:
+        """Telemetry for one finished recycling loop (once per model)."""
+        metrics = get_metrics()
+        metrics.counter(
+            "fold.recycle.early_stops"
+            if reason == "early"
+            else "fold.recycle.cap_stops"
+        ).inc()
+        metrics.counter("fold.recycle.total").inc(self.n_recycles)
+        metrics.histogram(
+            "fold.recycle.count", buckets=tuple(float(i) for i in range(1, 21))
+        ).observe(self.n_recycles)
+        get_tracer().event(
+            "fold.recycle.stop",
+            category="fold",
+            attrs={
+                "reason": reason,
+                "recycles": self.n_recycles,
+                # inf (no second recycle ran) is not valid JSON
+                "last_change": (
+                    self.last_change
+                    if np.isfinite(self.last_change)
+                    else None
+                ),
+            },
+        )

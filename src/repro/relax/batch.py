@@ -25,6 +25,7 @@ from typing import Iterable
 from ..dataflow.engine import ExecutionResult, ThreadedExecutor
 from ..dataflow.scheduler import TaskSpec
 from ..structure.protein import Structure
+from ..telemetry.tracer import get_tracer
 from .forcefield import ForceFieldParams
 from .protocols import RelaxOutcome, SinglePassRelaxProtocol
 
@@ -91,19 +92,27 @@ def relax_many(
     """
     by_key = _as_mapping(structures)
     protocol = protocol or SinglePassRelaxProtocol(device=device, params=params)
-    prepared = {
-        key: protocol.prepare(structure) for key, structure in by_key.items()
-    }
-    tasks = [
-        TaskSpec(key=key, payload=prep, size_hint=len(by_key[key]))
-        for key, prep in prepared.items()
-    ]
-    if executor is None:
-        n = n_workers
-        if n <= 0:
-            n = max(1, min(8, os.cpu_count() or 1))
-        executor = ThreadedExecutor(min(n, max(1, len(tasks))))
-    execution = executor.map(protocol.run_prepared, tasks)
+    tracer = get_tracer()
+    with tracer.span(
+        "batch",
+        "relax_many",
+        attrs={"n_structures": len(by_key), "device": protocol.device},
+    ):
+        with tracer.span("phase", "relax.prepare"):
+            prepared = {
+                key: protocol.prepare(structure)
+                for key, structure in by_key.items()
+            }
+        tasks = [
+            TaskSpec(key=key, payload=prep, size_hint=len(by_key[key]))
+            for key, prep in prepared.items()
+        ]
+        if executor is None:
+            n = n_workers
+            if n <= 0:
+                n = max(1, min(8, os.cpu_count() or 1))
+            executor = ThreadedExecutor(min(n, max(1, len(tasks))))
+        execution = executor.map(protocol.run_prepared, tasks, stage="relax")
     failed = [r for r in execution.records if not r.ok]
     if failed:
         summary = "; ".join(f"{r.key}: {r.error}" for r in failed[:3])

@@ -18,6 +18,7 @@ import numpy as np
 from scipy.optimize import minimize as scipy_minimize
 
 from ..constants import RELAX_ENERGY_TOLERANCE_KCAL
+from ..telemetry.metrics import get_metrics
 from .forcefield import ForceField, ForceFieldParams
 from .hydrogens import MMSystem
 
@@ -190,6 +191,14 @@ def minimize_system(
             break
         prev_energy = energy
     assert initial_energy is not None
+    # One registry update per minimisation (not per round): the Verlet
+    # economics and step totals the RelaxStageResult thin views and
+    # metrics.json report — MinimizationResult keeps its own fields.
+    metrics = get_metrics()
+    metrics.counter("relax.verlet.rebuilds").inc(ff.n_rebuilds)
+    metrics.counter("relax.verlet.reuses").inc(ff.n_reuses)
+    metrics.counter("relax.minimize.count").inc()
+    metrics.counter("relax.minimize.steps").inc(total_steps)
     return MinimizationResult(
         system=system.with_particles(x),
         initial_energy=float(initial_energy),

@@ -1,0 +1,90 @@
+"""Unified telemetry: span tracing, metrics, Chrome-trace export.
+
+The observability subsystem the paper's deployment insight rests on
+(per-task CSVs, the Fig. 2 worker Gantt, stage node-hour accounting),
+rebuilt as one zero-dependency substrate instead of four generations of
+ad-hoc result-dataclass counters:
+
+* :mod:`~repro.telemetry.tracer` — nested spans
+  (``run > stage > task > attempt``) with worker/lane attributes and
+  explicit-clock support (simulated time is first-class);
+* :mod:`~repro.telemetry.metrics` — counters, gauges and fixed-bucket
+  histograms under dotted ``stage.task.event`` names;
+* :mod:`~repro.telemetry.export` — Chrome ``trace_event`` JSON,
+  metrics JSON/CSV, and the per-run ``manifest.json``;
+* :mod:`~repro.telemetry.session` — the per-run bundle the pipeline
+  activates and exports;
+* :mod:`~repro.telemetry.report` — ``repro report <run_dir>``.
+
+Instrumented call sites go through :func:`get_tracer` /
+:func:`get_metrics`; with nothing installed the tracer is a no-op
+(one branch per event) and the metrics land in a default registry.
+"""
+
+from .export import (
+    SIM_PID,
+    WALL_PID,
+    build_manifest,
+    chrome_trace,
+    lanes_from_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_manifest,
+    write_metrics_csv,
+    write_metrics_json,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from .report import RunArtifacts, load_run, render_report
+from .session import TelemetrySession
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    spans_from_records,
+    use_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "spans_from_records",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+    "WALL_PID",
+    "SIM_PID",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "lanes_from_trace",
+    "write_metrics_json",
+    "write_metrics_csv",
+    "build_manifest",
+    "write_manifest",
+    "TelemetrySession",
+    "RunArtifacts",
+    "load_run",
+    "render_report",
+]

@@ -1,0 +1,301 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+One shared substrate for every count the pipeline used to keep in
+bespoke dataclass fields — feature-cache hits, OOM retries, Verlet
+rebuilds, per-stage task latencies.  Names follow the dotted
+``stage.task.event`` convention documented in DESIGN.md §9
+(``feature.cache.hits``, ``inference.task.latency_seconds``,
+``relax.verlet.rebuilds``, ...), so a flat metrics dump stays greppable
+and stage deltas are a prefix filter.
+
+Everything is lock-protected: executor worker threads, the feature
+cache and the coordinating thread all increment concurrently.  A
+module-global default registry is always installed — counting is cheap
+enough to leave on (one dict hit + one add under a lock), and it means
+``FeatureCache`` hit/miss accounting works with zero setup — while
+:func:`use_metrics` swaps in a session-scoped registry for runs that
+export their numbers.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+]
+
+#: Latency histogram edges (seconds): log-spaced from sub-millisecond
+#: kernels to multi-minute simulated tasks; values above the last edge
+#: land in the implicit +Inf bucket.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = lock
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that may move both ways (queue depth, workers busy)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max sidecars.
+
+    ``buckets`` are the upper edges of the finite buckets; an implicit
+    +Inf bucket catches the overflow.  ``observe`` is O(log buckets).
+    """
+
+    __slots__ = (
+        "name", "buckets", "_counts", "_sum", "_count",
+        "_min", "_max", "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        buckets: tuple[float, ...],
+        lock: threading.Lock,
+    ) -> None:
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket edge")
+        edges = tuple(float(b) for b in buckets)
+        if list(edges) != sorted(set(edges)):
+            raise ValueError("bucket edges must be strictly increasing")
+        self.name = name
+        self.buckets = edges
+        self._counts = [0] * (len(edges) + 1)  # last = +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect_right(self.buckets, value)
+        # `bisect_right` puts values equal to an edge in the next
+        # bucket; shift them back so edges are inclusive upper bounds.
+        if idx > 0 and value == self.buckets[idx - 1]:
+            idx -= 1
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper edge of the covering bucket.
+
+        Exact enough for latency reporting (the export keeps the raw
+        bucket counts, so any consumer can re-derive finer answers).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            target = q * self._count
+            cumulative = 0
+            for edge, n in zip(self.buckets, self._counts):
+                cumulative += n
+                if cumulative >= target:
+                    return edge
+            return self._max
+
+    def _payload(self) -> dict:
+        """JSON body; caller must hold the (non-reentrant) shared lock."""
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self._counts),
+            "sum": self._sum,
+            "count": self._count,
+            "min": self._min if self._count else 0.0,
+            "max": self._max if self._count else 0.0,
+        }
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return self._payload()
+
+
+class MetricsRegistry:
+    """Named metrics, created on first touch, exported as one snapshot."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- creation / access ---------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                self._check_free(name, self._counters)
+                metric = self._counters[name] = Counter(name, self._lock)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                self._check_free(name, self._gauges)
+                metric = self._gauges[name] = Gauge(name, self._lock)
+            return metric
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                self._check_free(name, self._histograms)
+                metric = self._histograms[name] = Histogram(
+                    name, buckets, self._lock
+                )
+            return metric
+
+    def _check_free(self, name: str, own: dict) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not own and name in family:
+                raise ValueError(
+                    f"metric {name!r} already registered as another type"
+                )
+
+    # -- snapshots -----------------------------------------------------------
+    def counter_values(self, prefix: str = "") -> dict[str, float]:
+        """Current counter values, optionally filtered by name prefix."""
+        with self._lock:
+            return {
+                name: c._value
+                for name, c in self._counters.items()
+                if name.startswith(prefix)
+            }
+
+    @staticmethod
+    def delta(
+        before: dict[str, float], after: dict[str, float]
+    ) -> dict[str, float]:
+        """Counter movement between two :meth:`counter_values` snapshots."""
+        return {
+            name: value - before.get(name, 0.0)
+            for name, value in after.items()
+            if value - before.get(name, 0.0) != 0.0
+        }
+
+    def snapshot(self) -> dict:
+        """Everything, JSON-ready: the ``metrics.json`` payload body."""
+        with self._lock:
+            counters = {n: c._value for n, c in self._counters.items()}
+            gauges = {n: g._value for n, g in self._gauges.items()}
+            histograms = {
+                n: h._payload() for n, h in self._histograms.items()
+            }
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        }
+
+
+#: Process-wide active registry; a real one by default, so counting
+#: instrumentation (cache hits, Verlet rebuilds) always lands somewhere.
+_ACTIVE = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The active registry (never ``None``)."""
+    return _ACTIVE
+
+
+def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` globally (``None`` installs a fresh one)."""
+    global _ACTIVE
+    _ACTIVE = registry if registry is not None else MetricsRegistry()
+    return _ACTIVE
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily install ``registry``, restoring the previous on exit."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    try:
+        yield registry
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,393 @@
+"""Span tracing: the substrate under every timing number we export.
+
+The paper's observability artefacts — per-task CSVs, the Fig. 2 worker
+Gantt, stage node-hour accounting — are all *interval* data: something
+started, something ended, on some worker, inside some larger phase.  A
+:class:`Span` is exactly that interval; a :class:`Tracer` produces them
+nested (``run > stage > task > attempt``) with monotonic timestamps and
+arbitrary attributes (worker id, lane, attempt number).
+
+Design constraints, in order:
+
+1. **Hot paths pay one branch when tracing is off.**  The module-level
+   :data:`NULL_TRACER` is installed by default; its methods return
+   immediately (``span()`` hands back one shared, reusable no-op
+   context manager).  Instrumented code calls
+   ``get_tracer().event(...)`` unconditionally — no ``if enabled``
+   litter at call sites, no measurable cost in BENCH_relax/BENCH_fold.
+2. **Simulated time is first-class.**  A tracer takes an explicit
+   ``clock`` callable; ``Tracer(clock=lambda: sim.now)`` timestamps
+   spans in :class:`~repro.cluster.simclock.SimClock` seconds, so the
+   operational (simulated) timeline exports through the same pipeline
+   as wall time.  :func:`spans_from_records` converts an executor's
+   :class:`~repro.dataflow.scheduler.TaskRecord` stream — threaded or
+   simulated — into finished task spans directly.
+3. **Cross-thread nesting works.**  Span context is a thread-local
+   stack, but a span opened with ``ambient=True`` (the pipeline's run
+   and stage spans) becomes the parent fallback for spans opened on
+   *other* threads with an empty local stack — which is exactly how
+   :class:`~repro.dataflow.engine.ThreadedExecutor` worker threads hang
+   their task spans under the stage that submitted them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "spans_from_records",
+]
+
+
+@dataclass
+class Span:
+    """One timed interval in the ``run > stage > task > attempt`` tree.
+
+    ``category`` is the level name ("run", "stage", "task", ...);
+    ``name`` identifies the instance ("inference", "P0001/model_3").
+    ``attrs`` carry worker/lane/attempt labels into the exporters.
+    ``end`` stays ``None`` while the span is open.
+    """
+
+    name: str
+    category: str
+    start: float
+    span_id: int
+    parent_id: int | None = None
+    end: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+    thread: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Span length in clock seconds (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+
+@dataclass(frozen=True)
+class TraceEventRecord:
+    """A zero-duration instant (e.g. a recycle early-stop decision)."""
+
+    name: str
+    category: str
+    timestamp: float
+    parent_id: int | None
+    attrs: dict[str, Any]
+    thread: str
+
+
+class _NullSpanContext:
+    """Shared reusable no-op context manager (one allocation, ever)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """The default tracer: every operation is an immediate return.
+
+    Instrumentation sites call methods on whatever :func:`get_tracer`
+    returns; with this installed the cost per event is one global read
+    plus one no-op method call — the "one branch per event" budget the
+    benchmark throughput numbers are guarded against.
+    """
+
+    enabled = False
+
+    def span(
+        self,
+        category: str,
+        name: str = "",
+        attrs: dict[str, Any] | None = None,
+        ambient: bool = False,
+    ) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def event(
+        self,
+        name: str,
+        category: str = "event",
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        return None
+
+    def complete(
+        self,
+        category: str,
+        name: str,
+        start: float,
+        end: float,
+        attrs: dict[str, Any] | None = None,
+        parent_id: int | None = None,
+        thread: str = "",
+    ) -> None:
+        return None
+
+    def extend(self, spans: Iterable[Span]) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects nested spans and instants against one monotonic clock.
+
+    ``clock`` defaults to :func:`time.perf_counter` rebased so the
+    trace starts at 0; pass ``clock=lambda: sim.now`` to record in
+    simulated seconds.  All mutation is lock-protected — executor
+    worker threads and the coordinating thread append concurrently.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        if clock is None:
+            t0 = time.perf_counter()
+
+            def clock() -> float:
+                return time.perf_counter() - t0
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._ambient: list[Span] = []
+        self.spans: list[Span] = []
+        self.events: list[TraceEventRecord] = []
+
+    # -- context -------------------------------------------------------------
+    def now(self) -> float:
+        return float(self._clock())
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span(self) -> Span | None:
+        """Innermost open span on this thread, else the ambient span."""
+        stack = self._stack()
+        if stack:
+            return stack[-1]
+        with self._lock:
+            return self._ambient[-1] if self._ambient else None
+
+    # -- spans ---------------------------------------------------------------
+    def start_span(
+        self,
+        category: str,
+        name: str = "",
+        attrs: dict[str, Any] | None = None,
+        ambient: bool = False,
+    ) -> Span:
+        parent = self.current_span()
+        with self._lock:
+            span = Span(
+                name=name or category,
+                category=category,
+                start=self.now(),
+                span_id=next(self._ids),
+                parent_id=parent.span_id if parent is not None else None,
+                attrs=dict(attrs) if attrs else {},
+                thread=threading.current_thread().name,
+            )
+            self.spans.append(span)
+            if ambient:
+                self._ambient.append(span)
+        self._stack().append(span)
+        return span
+
+    def finish_span(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            if span.end is None:
+                span.end = self.now()
+            if self._ambient and self._ambient[-1] is span:
+                self._ambient.pop()
+
+    @contextmanager
+    def span(
+        self,
+        category: str,
+        name: str = "",
+        attrs: dict[str, Any] | None = None,
+        ambient: bool = False,
+    ) -> Iterator[Span]:
+        span = self.start_span(category, name, attrs, ambient=ambient)
+        try:
+            yield span
+        finally:
+            self.finish_span(span)
+
+    def complete(
+        self,
+        category: str,
+        name: str,
+        start: float,
+        end: float,
+        attrs: dict[str, Any] | None = None,
+        parent_id: int | None = None,
+        thread: str = "",
+    ) -> Span:
+        """Record an already-finished span with explicit timestamps.
+
+        The bridge from record streams (simulated runs, replayed CSVs)
+        into the span world; ``parent_id=None`` hangs it under the
+        caller's current span, if any.
+        """
+        if end < start:
+            raise ValueError("span cannot end before it starts")
+        if parent_id is None:
+            parent = self.current_span()
+            parent_id = parent.span_id if parent is not None else None
+        with self._lock:
+            span = Span(
+                name=name,
+                category=category,
+                start=float(start),
+                span_id=next(self._ids),
+                parent_id=parent_id,
+                end=float(end),
+                attrs=dict(attrs) if attrs else {},
+                thread=thread or threading.current_thread().name,
+            )
+            self.spans.append(span)
+        return span
+
+    # -- instants ------------------------------------------------------------
+    def event(
+        self,
+        name: str,
+        category: str = "event",
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        parent = self.current_span()
+        with self._lock:
+            self.events.append(
+                TraceEventRecord(
+                    name=name,
+                    category=category,
+                    timestamp=self.now(),
+                    parent_id=parent.span_id if parent is not None else None,
+                    attrs=dict(attrs) if attrs else {},
+                    thread=threading.current_thread().name,
+                )
+            )
+
+    def extend(self, spans: Iterable[Span]) -> None:
+        """Attach externally built finished spans (e.g. simulated runs)."""
+        with self._lock:
+            self.spans.extend(spans)
+
+    # -- introspection -------------------------------------------------------
+    def children_of(self, span: Span) -> list[Span]:
+        with self._lock:
+            return [s for s in self.spans if s.parent_id == span.span_id]
+
+
+#: The process-wide active tracer.  A plain module global (not a
+#: context/thread-local): executor worker threads must see the tracer
+#: the coordinating thread installed.
+_ACTIVE: NullTracer | Tracer = NULL_TRACER
+
+
+def get_tracer() -> NullTracer | Tracer:
+    """The active tracer; :data:`NULL_TRACER` unless one is installed."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: NullTracer | Tracer | None) -> None:
+    """Install ``tracer`` globally (``None`` restores the no-op)."""
+    global _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+
+
+@contextmanager
+def use_tracer(tracer: NullTracer | Tracer) -> Iterator[NullTracer | Tracer]:
+    """Temporarily install ``tracer``, restoring the previous on exit."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous
+
+
+#: Ids for record-derived spans; disjoint from live-tracer ids and
+#: shared across calls so merged span lists never collide.
+_RECORD_SPAN_IDS = itertools.count(1_000_000)
+
+
+def spans_from_records(
+    records: list,
+    category: str = "task",
+    parent: Span | None = None,
+    clock: str = "sim",
+    offset: float = 0.0,
+    attrs: dict[str, Any] | None = None,
+) -> list[Span]:
+    """Convert a :class:`TaskRecord` stream into finished task spans.
+
+    Works for both executors' record lists — the simulated run's
+    timestamps are simulated seconds, the threaded run's are wall
+    seconds since the run started; ``clock`` labels which, so exporters
+    can keep the timelines apart.  Worker id and lane (the Fig. 2 row
+    label) ride along as attributes; ``attrs`` adds extra labels to
+    every span.  ``offset`` shifts the timestamps — each record stream
+    starts its clock at 0, so a caller merging several sequential runs
+    (the pipeline's three stages) offsets each by the simulated time
+    already elapsed, keeping one coherent timeline per trace.
+    """
+    ids = _RECORD_SPAN_IDS
+    parent_id = parent.span_id if parent is not None else None
+    extra = attrs or {}
+    spans = []
+    for record in records:
+        spans.append(
+            Span(
+                name=record.key,
+                category=category,
+                start=float(record.start) + offset,
+                end=float(record.end) + offset,
+                span_id=next(ids),
+                parent_id=parent_id,
+                attrs={
+                    "worker": record.worker_id,
+                    "lane": record.worker_id[-6:],
+                    "attempt": record.attempt,
+                    "ok": record.ok,
+                    "error": record.error,
+                    "clock": clock,
+                    **extra,
+                },
+                thread=record.worker_id,
+            )
+        )
+    return spans

@@ -255,3 +255,17 @@ class TestReporting:
         assert s["n_failed"] == 0
         assert s["makespan"] > 0
         assert summarize_records([])["n_tasks"] == 0
+
+    def test_summary_attempt_latency_and_lost_keys(self):
+        res = self._sim()
+        s = summarize_records(res.records)
+        assert s["lost_keys"] == []
+        assert list(s["attempt_latency"]) == ["1"]
+        first = s["attempt_latency"]["1"]
+        assert first["n"] == 6
+        assert first["p50"] <= first["p95"] <= first["max"]
+        assert first["mean"] == pytest.approx(
+            sum(r.duration for r in res.records) / 6
+        )
+        empty = summarize_records([])
+        assert empty["lost_keys"] == [] and empty["attempt_latency"] == {}

@@ -248,6 +248,24 @@ class TestSimulatedRetries:
         summary = summarize_records(res.records)
         assert summary["n_lost"] == 0
         assert summary["n_retried"] == summary["n_failed"] > 0
+        # retried attempts get their own latency percentiles
+        assert "2" in summary["attempt_latency"]
+        n_retried_attempts = sum(
+            stats["n"]
+            for attempt, stats in summary["attempt_latency"].items()
+            if attempt != "1"
+        )
+        assert n_retried_attempts == summary["n_retried"]
+
+    def test_summary_surfaces_lost_keys(self):
+        tasks = _tasks(6, requires_highmem=True)
+        res = simulate_dataflow(
+            tasks, make_workers(1, 2), lambda t: t.size_hint,
+            task_overhead=0.0, startup=0.0,
+        )
+        summary = summarize_records(res.records)
+        assert summary["n_lost"] == 6
+        assert summary["lost_keys"] == sorted(t.key for t in tasks)
 
 
 class TestThreadedRetries:

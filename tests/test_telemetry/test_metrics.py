@@ -1,0 +1,168 @@
+"""Metrics registry: counters, gauges, histograms, snapshots, deltas."""
+
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("feature.cache.hits")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4.0
+
+    def test_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x").inc(-1)
+
+    def test_same_name_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b.c") is reg.counter("a.b.c")
+
+    def test_thread_safety(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hot")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("queue.depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_bucket_edges_inclusive_upper(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 4.0, 9.0):
+            h.observe(v)
+        d = h.to_dict()
+        # counts: (-inf,1], (1,2], (2,4], (4,+inf)
+        assert d["counts"] == [2, 2, 1, 1]
+        assert d["count"] == 6
+        assert d["sum"] == pytest.approx(18.0)
+        assert d["min"] == 0.5 and d["max"] == 9.0
+
+    def test_mean_and_quantile(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.6, 1.5, 3.0):
+            h.observe(v)
+        assert h.mean() == pytest.approx(5.6 / 4)
+        assert h.quantile(0.5) == 1.0  # 2 of 4 in the first bucket
+        assert h.quantile(1.0) == 4.0
+
+    def test_empty_histogram(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.mean() == 0.0
+        assert h.quantile(0.9) == 0.0
+        d = h.to_dict()
+        assert d["count"] == 0 and d["min"] == 0.0 and d["max"] == 0.0
+
+    def test_default_buckets(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.buckets == DEFAULT_LATENCY_BUCKETS
+
+    def test_rejects_unsorted_buckets(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("bad", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            reg.histogram("empty", buckets=())
+
+    def test_quantile_range_check(self):
+        h = MetricsRegistry().histogram("lat")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestRegistry:
+    def test_cross_type_name_collision(self):
+        reg = MetricsRegistry()
+        reg.counter("x.y")
+        with pytest.raises(ValueError):
+            reg.gauge("x.y")
+        with pytest.raises(ValueError):
+            reg.histogram("x.y")
+
+    def test_counter_values_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.counter("feature.cache.hits").inc(2)
+        reg.counter("relax.verlet.rebuilds").inc()
+        assert reg.counter_values("feature.") == {"feature.cache.hits": 2.0}
+
+    def test_delta(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(5)
+        before = reg.counter_values()
+        reg.counter("a").inc(2)
+        reg.counter("b").inc()
+        after = reg.counter_values()
+        assert MetricsRegistry.delta(before, after) == {"a": 2.0, "b": 1.0}
+
+    def test_delta_drops_unmoved(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        before = reg.counter_values()
+        after = reg.counter_values()
+        assert MetricsRegistry.delta(before, after) == {}
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(3)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 1.0}
+        assert snap["gauges"] == {"g": 3.0}
+        assert snap["histograms"]["h"]["count"] == 1
+        # snapshot must not deadlock on the shared lock (regression: it
+        # used to call Histogram.to_dict while already holding it)
+        assert reg.snapshot()["histograms"]["h"]["counts"] == [1, 0]
+
+
+class TestGlobalRegistry:
+    def test_default_always_present(self):
+        assert get_metrics() is not None
+
+    def test_use_metrics_swaps_and_restores(self):
+        outer = get_metrics()
+        mine = MetricsRegistry()
+        with use_metrics(mine):
+            assert get_metrics() is mine
+            get_metrics().counter("scoped").inc()
+        assert get_metrics() is outer
+        assert "scoped" not in outer.counter_values()
+        assert mine.counter_values() == {"scoped": 1.0}
+
+    def test_set_metrics_none_installs_fresh(self):
+        previous = get_metrics()
+        try:
+            fresh = set_metrics(None)
+            assert fresh is get_metrics()
+            assert fresh is not previous
+        finally:
+            set_metrics(previous)

@@ -1,0 +1,74 @@
+"""No-op tracer overhead guard.
+
+The instrumentation contract is one branch per event when tracing is
+off: hot loops (BENCH_relax/BENCH_fold kernels, executor task dispatch)
+must not slow down because spans exist.  Timing two whole loops
+back-to-back measures machine noise on a busy single-core runner
+(block-to-block variance is far larger than the effect), so the guard
+measures the two costs separately — the per-event price of a disabled
+span over many thousand events, and the per-iteration floor of a
+representative numpy workload — and bounds their ratio at 5%.
+"""
+
+import time
+
+import numpy as np
+
+from repro.telemetry import get_tracer
+
+
+def _span_event(tracer) -> None:
+    """One instrumented no-op event, exactly as hot call sites write it."""
+    with tracer.span("task", "bench") as span:
+        if span is not None:
+            span.set_attr("ok", True)
+
+
+def _per_event_cost(n: int = 50_000, repeats: int = 5) -> float:
+    """Seconds per disabled-span event (empty-loop cost subtracted)."""
+    tracer = get_tracer()
+    best_span = best_empty = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(n):
+            _span_event(tracer)
+        best_span = min(best_span, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for _ in range(n):
+            pass
+        best_empty = min(best_empty, time.perf_counter() - t0)
+    return max(best_span - best_empty, 0.0) / n
+
+
+def _per_task_floor(n: int = 200, repeats: int = 5) -> float:
+    """Seconds per iteration of a small representative task kernel."""
+    x = np.random.default_rng(0).normal(size=(120, 120))
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(n):
+            float((x @ x.T).trace())
+        best = min(best, time.perf_counter() - t0)
+    return best / n
+
+
+def test_null_tracer_overhead_under_5_percent():
+    assert get_tracer().enabled is False
+    span_cost = _per_event_cost()
+    task_cost = _per_task_floor()
+    ratio = span_cost / task_cost
+    assert ratio < 0.05, (
+        f"disabled span costs {span_cost * 1e9:.0f} ns/event — "
+        f"{ratio:.1%} of a {task_cost * 1e6:.0f} us task; the one-branch "
+        "contract is broken"
+    )
+
+
+def test_null_tracer_yields_none_and_records_nothing():
+    tracer = get_tracer()
+    with tracer.span("task", "x") as span:
+        assert span is None
+    tracer.event("anything")
+    tracer.complete("task", "y", 0.0, 1.0)
+    tracer.extend([])
+    assert not hasattr(tracer, "spans")

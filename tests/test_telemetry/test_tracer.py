@@ -1,0 +1,242 @@
+"""Tracer: span nesting, explicit clocks, cross-thread parenting."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import SimClock
+from repro.dataflow import TaskSpec, ThreadedExecutor, make_workers, simulate_dataflow
+from repro.telemetry import (
+    NULL_TRACER,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    spans_from_records,
+    use_tracer,
+)
+
+
+class TestSpanNesting:
+    def test_parent_child_ids(self):
+        tr = Tracer()
+        with tr.span("run", "campaign") as run:
+            with tr.span("stage", "features") as stage:
+                with tr.span("task", "P0001") as task:
+                    pass
+        assert run.parent_id is None
+        assert stage.parent_id == run.span_id
+        assert task.parent_id == stage.span_id
+        assert tr.children_of(run) == [stage]
+        assert tr.children_of(stage) == [task]
+
+    def test_spans_ordered_and_closed(self):
+        tr = Tracer()
+        with tr.span("stage", "a"):
+            pass
+        with tr.span("stage", "b"):
+            pass
+        names = [s.name for s in tr.spans]
+        assert names == ["a", "b"]
+        assert all(s.end is not None for s in tr.spans)
+        assert tr.spans[0].start <= tr.spans[1].start
+
+    def test_siblings_share_parent(self):
+        tr = Tracer()
+        with tr.span("stage", "s") as stage:
+            with tr.span("task", "t1"):
+                pass
+            with tr.span("task", "t2"):
+                pass
+        kids = tr.children_of(stage)
+        assert [k.name for k in kids] == ["t1", "t2"]
+
+    def test_attrs_and_set_attr(self):
+        tr = Tracer()
+        with tr.span("task", "x", attrs={"worker": "w1"}) as span:
+            span.set_attr("ok", True)
+        assert span.attrs == {"worker": "w1", "ok": True}
+
+    def test_events_attach_to_current_span(self):
+        tr = Tracer()
+        with tr.span("stage", "s") as stage:
+            tr.event("oom", category="dataflow", attrs={"key": "t3"})
+        assert len(tr.events) == 1
+        assert tr.events[0].parent_id == stage.span_id
+        assert tr.events[0].attrs == {"key": "t3"}
+
+    def test_complete_rejects_negative_duration(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            tr.complete("task", "bad", start=2.0, end=1.0)
+
+
+class TestExplicitClock:
+    def test_sim_clock_timestamps(self):
+        clock = SimClock()
+        tr = Tracer(clock=lambda: clock.now)
+        with tr.span("stage", "sim-stage") as span:
+            clock.schedule(125.0, lambda: None)
+            clock.run()
+        assert span.start == 0.0
+        assert span.end == 125.0
+        assert span.duration == 125.0
+
+    def test_default_clock_starts_near_zero(self):
+        tr = Tracer()
+        assert 0.0 <= tr.now() < 1.0
+
+
+class TestCrossThreadNesting:
+    def test_ambient_span_parents_worker_threads(self):
+        tr = Tracer()
+        seen = []
+
+        def work():
+            with tr.span("task", "from-thread") as s:
+                seen.append(s)
+
+        with tr.span("stage", "s", ambient=True) as stage:
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        assert seen[0].parent_id == stage.span_id
+
+    def test_executor_task_spans_nest_under_stage(self):
+        tr = Tracer()
+        ex = ThreadedExecutor(4)
+        with use_tracer(tr):
+            with tr.span("stage", "map", ambient=True) as stage:
+                ex.map(lambda p: p, [(f"t{i}", i, 1.0) for i in range(16)])
+        task_spans = [s for s in tr.spans if s.category == "task"]
+        assert len(task_spans) == 16
+        assert {s.parent_id for s in task_spans} == {stage.span_id}
+        assert {s.name for s in task_spans} == {f"t{i}" for i in range(16)}
+        for s in task_spans:
+            assert stage.start <= s.start and s.end <= stage.end
+            assert s.attrs["worker"].startswith("tcp-worker-")
+            assert s.attrs["attempt"] == 1
+            assert s.attrs["ok"] is True
+
+    def test_concurrent_span_creation_is_consistent(self):
+        tr = Tracer()
+        n_threads, per_thread = 8, 50
+
+        def work(i):
+            for j in range(per_thread):
+                with tr.span("task", f"t{i}-{j}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tr.spans) == n_threads * per_thread
+        ids = [s.span_id for s in tr.spans]
+        assert len(set(ids)) == len(ids)
+        assert all(s.end is not None and s.end >= s.start for s in tr.spans)
+
+
+class TestGlobalTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+        assert get_tracer().enabled is False
+
+    def test_null_span_yields_none(self):
+        with NULL_TRACER.span("task", "x") as span:
+            assert span is None
+
+    def test_use_tracer_restores(self):
+        tr = Tracer()
+        with use_tracer(tr):
+            assert get_tracer() is tr
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_none_restores_null(self):
+        tr = Tracer()
+        set_tracer(tr)
+        try:
+            assert get_tracer() is tr
+        finally:
+            set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+
+
+class TestSpansFromRecords:
+    def _records(self):
+        tasks = [TaskSpec(key=f"t{i}", size_hint=float(i + 1)) for i in range(6)]
+        return simulate_dataflow(
+            tasks, make_workers(1, 2), lambda t: t.size_hint
+        ).records
+
+    def test_round_trip_fields(self):
+        records = self._records()
+        spans = spans_from_records(records)
+        assert len(spans) == len(records)
+        by_key = {s.name: s for s in spans}
+        for r in records:
+            s = by_key[r.key]
+            assert s.start == r.start and s.end == r.end
+            assert s.attrs["worker"] == r.worker_id
+            assert s.attrs["clock"] == "sim"
+
+    def test_offset_shifts_timestamps(self):
+        records = self._records()
+        base = spans_from_records(records)
+        shifted = spans_from_records(records, offset=100.0)
+        for b, s in zip(base, shifted):
+            assert s.start == b.start + 100.0
+            assert s.end == b.end + 100.0
+            assert s.duration == pytest.approx(b.duration)
+
+    def test_extra_attrs_and_unique_ids_across_calls(self):
+        records = self._records()
+        first = spans_from_records(records, attrs={"stage": "features"})
+        second = spans_from_records(records)
+        assert all(s.attrs["stage"] == "features" for s in first)
+        ids = [s.span_id for s in first + second]
+        assert len(set(ids)) == len(ids)
+
+
+class _ManualClock:
+    """Directly advanceable clock for property tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@given(
+    layout=st.lists(
+        st.lists(st.floats(0.001, 10.0), min_size=0, max_size=5),
+        min_size=1,
+        max_size=5,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_child_durations_sum_within_parent(layout):
+    """Children run inside their parent: for any nesting produced by the
+    context-manager API, the sum of direct-child durations never exceeds
+    the parent's own duration (children are sequential on one thread)."""
+    clock = _ManualClock()
+    tr = Tracer(clock=lambda: clock.now)
+
+    def build(levels):
+        with tr.span("level", f"depth-{len(levels)}") as span:
+            for advance in levels[0]:
+                clock.advance(advance)
+                if len(levels) > 1:
+                    build(levels[1:])
+        return span
+
+    build(layout)
+    for span in tr.spans:
+        kids = tr.children_of(span)
+        total = sum(k.duration for k in kids)
+        assert total <= span.duration + 1e-9
