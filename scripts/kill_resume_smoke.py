@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""End-to-end kill/resume smoke test for durable campaign state.
+
+Launches a real ``repro campaign`` subprocess with a durable state
+directory and the hidden ``--crash-after-inference-tasks`` fault hook,
+which SIGKILLs the process partway through the inference stage — the
+closest in-process stand-in for the paper's node failures.  Then:
+
+1. asserts the process died by SIGKILL (rc -9 / 137),
+2. validates what survived on disk: the ledger's schema header and
+   parseable ok-records, and the artifact store's marker plus payload
+   schema for every ledgered-ok key,
+3. re-runs the identical campaign with ``--resume`` and asserts it
+   completes (rc 0) while reporting skipped, already-ledgered work.
+
+Run from the repo root (CI does)::
+
+    PYTHONPATH=src python scripts/kill_resume_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import pickle
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+LEDGER_SCHEMA = "repro.runstate.ledger/1"
+STORE_SCHEMA = "repro.runstate.store/1"
+
+CAMPAIGN = [
+    sys.executable, "-m", "repro.cli", "campaign",
+    "--species", "P_mercurii",
+    "--scale", "0.002",
+    "--seed", "5",
+    "--feature-nodes", "2",
+    "--inference-nodes", "1",
+    "--relax-nodes", "1",
+]
+
+
+def run(args: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(args, capture_output=True, text=True)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"  ok: {message}")
+
+
+def validate_state_dir(state_dir: Path) -> dict[str, int]:
+    """Parse the surviving ledger + artifacts; return ok counts by stage."""
+    ledger = state_dir / "ledger.jsonl"
+    check(ledger.exists(), "ledger.jsonl survived the kill")
+    lines = ledger.read_text().splitlines()
+    header = json.loads(lines[0])
+    check(
+        header == {"schema": LEDGER_SCHEMA},
+        f"ledger header declares {LEDGER_SCHEMA}",
+    )
+    ok_counts: dict[str, int] = {}
+    ok_keys: list[tuple[str, str]] = []
+    torn = 0
+    for line in lines[1:]:
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            torn += 1  # a torn final append is exactly what replay drops
+            continue
+        if entry.get("ok"):
+            ok_counts[entry["stage"]] = ok_counts.get(entry["stage"], 0) + 1
+            ok_keys.append((entry["stage"], entry["key"]))
+    check(torn <= 1, "at most the final ledger line may be torn")
+    check(sum(ok_counts.values()) > 0, f"ledgered-ok work survived: {ok_counts}")
+
+    marker = json.loads((state_dir / "artifacts" / "store.json").read_text())
+    check(
+        marker == {"schema": STORE_SCHEMA},
+        f"artifact store marker declares {STORE_SCHEMA}",
+    )
+    for stage, key in ok_keys:
+        name = hashlib.sha256(key.encode()).hexdigest()
+        path = state_dir / "artifacts" / stage / f"{name}.pkl"
+        check(path.exists(), f"artifact present for ledgered key {stage}/{key}")
+        payload = pickle.loads(path.read_bytes())
+        check(
+            payload["schema"] == STORE_SCHEMA
+            and payload["stage"] == stage
+            and payload["key"] == key,
+            f"artifact payload schema sound for {stage}/{key}",
+        )
+    return ok_counts
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--crash-after", type=int, default=3,
+        help="successful inference tasks before the injected SIGKILL",
+    )
+    parser.add_argument(
+        "--workdir", type=Path, default=None,
+        help="state directory parent (default: a fresh temp dir)",
+    )
+    args = parser.parse_args(argv)
+
+    workdir = args.workdir or Path(tempfile.mkdtemp(prefix="kill-resume-"))
+    state_dir = workdir / "campaign-state"
+
+    print(f"[1/3] campaign with SIGKILL after {args.crash_after} inference tasks")
+    crashed = run(
+        CAMPAIGN
+        + ["--state-dir", str(state_dir),
+           "--crash-after-inference-tasks", str(args.crash_after)]
+    )
+    check(
+        crashed.returncode in (-9, 137),
+        f"campaign was SIGKILLed (rc={crashed.returncode})",
+    )
+
+    print("[2/3] validating surviving state")
+    ok_counts = validate_state_dir(state_dir)
+    check(
+        ok_counts.get("inference", 0) >= args.crash_after,
+        f"crash-trigger records were durable before death: {ok_counts}",
+    )
+
+    print("[3/3] resuming the killed campaign")
+    resumed = run(CAMPAIGN + ["--state-dir", str(state_dir), "--resume"])
+    check(resumed.returncode == 0, f"resume completed (rc={resumed.returncode})")
+    check("resume   : skipped" in resumed.stdout, "resume reported skipped work")
+    check("quality  :" in resumed.stdout, "resumed campaign reached the summary")
+
+    final_counts = validate_state_dir(state_dir)
+    check(
+        final_counts.get("inference", 0) > ok_counts.get("inference", 0),
+        "resume extended the ledger instead of rewriting it",
+    )
+    print("kill/resume smoke ok:", final_counts)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

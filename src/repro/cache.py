@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .atomicio import atomic_write_bytes
 from .telemetry.metrics import get_metrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -78,9 +79,6 @@ class FeatureCache:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
-        # Suite fingerprints are content hashes over every entry; cache
-        # them per suite object so one campaign pays the hash once.
-        self._suite_fps: dict[int, str] = {}
 
     # -- Keys ----------------------------------------------------------------
     def key_for(
@@ -89,13 +87,15 @@ class FeatureCache:
         suite: "LibrarySuite",
         config: "FeatureGenConfig",
     ) -> str:
-        """Content-addressed key: sequence + suite + config."""
-        with self._lock:
-            suite_fp = self._suite_fps.get(id(suite))
-        if suite_fp is None:
-            suite_fp = suite.fingerprint()
-            with self._lock:
-                self._suite_fps[id(suite)] = suite_fp
+        """Content-addressed key: sequence + suite + config.
+
+        The suite fingerprint is memoised on the suite itself (see
+        :meth:`LibrarySuite.fingerprint`), so one campaign pays the
+        content hash once.  An earlier cache-side memo keyed by
+        ``id(suite)`` silently inherited a dead suite's fingerprint
+        whenever CPython reused the id — wrong key, wrong features.
+        """
+        suite_fp = suite.fingerprint()
         h = hashlib.sha256()
         h.update(np.ascontiguousarray(record.encoded).tobytes())
         h.update(suite_fp.encode())
@@ -117,6 +117,7 @@ class FeatureCache:
         original record's identity.
         """
         bundle = None
+        corrupt = False
         with self._lock:
             bundle = self._memory.get(key)
         if bundle is None and self._dir is not None:
@@ -124,8 +125,16 @@ class FeatureCache:
             if path.exists():
                 try:
                     bundle = pickle.loads(path.read_bytes())
-                except (pickle.UnpicklingError, EOFError, OSError):
-                    bundle = None  # corrupt entry: treat as a miss
+                except (pickle.UnpicklingError, EOFError, OSError, ValueError):
+                    # Corrupt entry: a miss, but quarantine it so the
+                    # slot self-repairs on the next put instead of
+                    # re-failing every lookup until then.
+                    bundle = None
+                    corrupt = True
+                    try:
+                        path.unlink(missing_ok=True)
+                    except OSError:
+                        pass
                 else:
                     with self._lock:
                         self._memory[key] = bundle
@@ -146,6 +155,8 @@ class FeatureCache:
             misses.inc()
         else:
             hits.inc()
+        if corrupt:
+            metrics.counter("feature.cache.corrupt").inc()
         if bundle is not None and record is not None:
             bundle = replace(bundle, record=record)
         return bundle
@@ -155,10 +166,11 @@ class FeatureCache:
         with self._lock:
             self._memory[key] = bundle
         if self._dir is not None:
-            path = self._dir / f"{key}.pkl"
-            tmp = path.with_suffix(".pkl.tmp")
-            tmp.write_bytes(pickle.dumps(bundle))
-            tmp.replace(path)  # atomic: concurrent readers never see partials
+            # Unique-temp + atomic rename: concurrent readers never see
+            # partials, and concurrent writers of one key each get their
+            # own scratch path (a shared <key>.pkl.tmp let two puts
+            # interleave write/replace and publish a torn pickle).
+            atomic_write_bytes(self._dir / f"{key}.pkl", pickle.dumps(bundle))
 
     # -- Introspection -------------------------------------------------------
     @property

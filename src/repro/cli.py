@@ -6,7 +6,10 @@ Five subcommands mirror how the paper's pipeline was actually driven:
   sample; writes relaxed PDBs and a per-target CSV.
 * ``repro campaign``  — the full three-stage simulated deployment with
   node-hour accounting and the proteome confidence summary; with
-  ``--telemetry-dir`` it also exports the run's trace/metrics/manifest.
+  ``--telemetry-dir`` it also exports the run's trace/metrics/manifest,
+  and with ``--state-dir`` it keeps a durable completion ledger +
+  artifact store so a killed campaign resumes (``--resume``) with zero
+  recomputation of finished tasks.
 * ``repro relax``     — relax an existing (CA-trace) PDB file.
 * ``repro table1``    — a scaled-down regeneration of Table 1.
 * ``repro report``    — render a saved telemetry run directory.
@@ -57,6 +60,16 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--relax-nodes", type=int, default=4)
     c.add_argument("--telemetry-dir", type=Path, default=None,
                    help="export manifest.json/trace.json/metrics.json here")
+    c.add_argument("--state-dir", type=Path, default=None,
+                   help="durable run state (write-ahead completion ledger + "
+                        "artifact store); lets a killed campaign resume")
+    c.add_argument("--resume", action="store_true",
+                   help="resume the campaign in --state-dir, skipping every "
+                        "task already ledgered as complete")
+    # Fault-injection hook for the kill/resume smoke test: SIGKILL this
+    # process after N inference completions have been durably recorded.
+    c.add_argument("--crash-after-inference-tasks", type=int, default=None,
+                   help=argparse.SUPPRESS)
 
     r = sub.add_parser("relax", help="relax a CA-trace PDB file")
     r.add_argument("pdb", type=Path)
@@ -158,12 +171,51 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
         session = TelemetrySession(args.telemetry_dir)
         session.annotate(seed=args.seed, species=args.species)
+    state = None
+    if args.state_dir is not None:
+        from .runstate import RunState
+
+        state = RunState(args.state_dir)
+        if state.resumed and not args.resume:
+            print(
+                f"repro campaign: {args.state_dir} already holds a campaign "
+                f"ledger ({len(state.ledger)} records); pass --resume to "
+                "continue it, or point --state-dir at a fresh directory",
+                file=sys.stderr,
+            )
+            return 2
+    elif args.resume:
+        print("repro campaign: --resume requires --state-dir", file=sys.stderr)
+        return 2
+    observer = None
+    if args.crash_after_inference_tasks is not None:
+        import os
+        import signal
+        import threading
+
+        budget = args.crash_after_inference_tasks
+        crash_lock = threading.Lock()
+        seen = [0]
+
+        def observer(stage, record, value):
+            if stage != "inference" or not record.ok:
+                return
+            with crash_lock:
+                seen[0] += 1
+                if seen[0] >= budget:
+                    # Durable state for this record is already on disk —
+                    # the observer runs after the ledger fsync — so this
+                    # is exactly the paper's node-failure scenario.
+                    os.kill(os.getpid(), signal.SIGKILL)
+
     pipeline = ProteomePipeline(
         preset_name=args.preset,
         feature_nodes=args.feature_nodes,
         inference_nodes=args.inference_nodes,
         relax_nodes=args.relax_nodes,
         telemetry=session,
+        run_state=state,
+        task_observer=observer,
     )
     result = pipeline.run(proteome, suite, NativeFactory(universe))
     fs, inf, rx = result.feature_stage, result.inference_stage, result.relax_stage
@@ -188,6 +240,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     if inf.oom_failures:
         print(f"failures : {len(inf.oom_failures)} OOM tasks")
+    if state is not None:
+        skipped = (fs.skipped_resume, inf.skipped_resume, rx.skipped_resume)
+        if any(skipped):
+            print(
+                f"resume   : skipped {skipped[0]} feature / {skipped[1]} "
+                f"inference / {skipped[2]} relax task(s) already ledgered"
+            )
+        print(
+            f"state    : {len(state.ledger)} ledger record(s) -> "
+            f"{args.state_dir} (resume with --resume)"
+        )
+        state.close()
     if session is not None:
         print(f"telemetry: {args.telemetry_dir}/ "
               f"(view with `repro report {args.telemetry_dir}`)")

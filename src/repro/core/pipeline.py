@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
+from typing import Any, Callable
 
 import numpy as np
 
@@ -47,6 +48,7 @@ from ..msa.databases import LibrarySuite
 from ..msa.features import FeatureBundle, FeatureGenConfig, generate_features
 from ..relax.batch import relax_many
 from ..relax.protocols import RelaxOutcome
+from ..runstate import RunState
 from ..sequences.proteome import SPECIES, Proteome
 from ..structure.protein import Structure
 from ..telemetry.metrics import get_metrics
@@ -125,6 +127,11 @@ class FeatureStageResult:
         return int(self.stage_metrics.get("feature.cache.misses", 0))
 
     @property
+    def skipped_resume(self) -> int:
+        """Tasks restored from the run-state ledger instead of computed."""
+        return int(self.stage_metrics.get("feature.task.skipped_resume", 0))
+
+    @property
     def node_hours(self) -> float:
         return self.simulation.node_hours(self.n_nodes)
 
@@ -144,6 +151,11 @@ class InferenceStageResult:
     stage_metrics: dict[str, float] = field(default_factory=dict)
     #: The threaded run that computed the predictions for real.
     execution: ExecutionResult | None = None
+
+    @property
+    def skipped_resume(self) -> int:
+        """Tasks restored from the run-state ledger instead of computed."""
+        return int(self.stage_metrics.get("inference.task.skipped_resume", 0))
 
     @property
     def node_hours(self) -> float:
@@ -184,6 +196,11 @@ class RelaxStageResult:
     def verlet_reuses(self) -> int:
         """Neighbour-list reuses this stage (thin view over metrics)."""
         return int(self.stage_metrics.get("relax.verlet.reuses", 0))
+
+    @property
+    def skipped_resume(self) -> int:
+        """Tasks restored from the run-state ledger instead of computed."""
+        return int(self.stage_metrics.get("relax.task.skipped_resume", 0))
 
     @property
     def node_hours(self) -> float:
@@ -244,6 +261,18 @@ class ProteomePipeline:
     #: and metrics to whatever tracer/registry is active; without a
     #: session that is the no-op tracer and the default registry.
     telemetry: TelemetrySession | None = None
+    #: Durable campaign state (write-ahead completion ledger + artifact
+    #: store).  When set, every stage filters its task list against the
+    #: ledger before submission — already-completed keys are restored
+    #: from the artifact store, counted on ``<stage>.task.skipped_resume``
+    #: and never recomputed — and records completions durably as results
+    #: land, so a killed campaign resumes where it died.
+    run_state: RunState | None = None
+    #: Observer called once per task attempt, *after* the run state (if
+    #: any) has durably recorded it: ``observer(stage, record, value)``.
+    #: The CLI's fault-injection kill switch hangs off this; it runs on
+    #: executor worker threads, so keep it cheap and thread-safe.
+    task_observer: Callable[[str, TaskRecord, Any], None] | None = None
 
     def _extend_sim_spans(self, tracer, sim, span, stage: str) -> None:
         """Attach a stage's simulated task spans to the active trace.
@@ -272,6 +301,45 @@ class ProteomePipeline:
             n = max(1, min(8, os.cpu_count() or 1))
         n = min(n, max(1, n_items))
         return ThreadedExecutor(n, highmem_workers=min(highmem_workers, n))
+
+    # -- Durable state -------------------------------------------------------
+    def _restore_completed(self, stage: str, keys: list[str]) -> dict[str, Any]:
+        """Artifacts for this stage's already-ledgered keys (resume path).
+
+        Counts the skips on ``<stage>.task.skipped_resume`` so stage
+        metrics, the telemetry export, and the provenance manifest all
+        agree on how much work the ledger saved.
+        """
+        if self.run_state is None:
+            return {}
+        restored = self.run_state.restore(stage, keys)
+        if restored:
+            get_metrics().counter(f"{stage}.task.skipped_resume").inc(
+                len(restored)
+            )
+            get_tracer().event(
+                f"{stage}.resume.skipped",
+                category="runstate",
+                attrs={"n_skipped": len(restored)},
+            )
+        return restored
+
+    def _stage_callback(
+        self, stage: str
+    ) -> Callable[[TaskRecord, Any], None] | None:
+        """Executor ``on_complete``: durable record first, observer second."""
+        state, observer = self.run_state, self.task_observer
+        if state is None and observer is None:
+            return None
+        persist = state.on_complete(stage) if state is not None else None
+
+        def callback(record: TaskRecord, value: Any) -> None:
+            if persist is not None:
+                persist(record, value)
+            if observer is not None:
+                observer(stage, record, value)
+
+        return callback
 
     # -- Stage 1 -----------------------------------------------------------
     def run_feature_stage(
@@ -308,17 +376,21 @@ class ProteomePipeline:
                 "n_nodes": self.feature_nodes,
             },
         ) as span:
-            execution = self._executor(len(tasks)).map(
+            restored = self._restore_completed(
+                "feature", [t.key for t in tasks]
+            )
+            pending = [t for t in tasks if t.key not in restored]
+            execution = self._executor(len(pending)).map(
                 lambda record: generate_features(
                     record, suite, self.feature_config, cache=self.feature_cache
                 ),
-                tasks,
+                pending,
                 stage="feature",
+                on_complete=self._stage_callback("feature"),
             )
             _raise_on_failures(execution.records, "feature generation")
-            features = {
-                r.record_id: execution.results[r.record_id] for r in records
-            }
+            bundles = {**restored, **execution.results}
+            features = {r.record_id: bundles[r.record_id] for r in records}
             # One search job per concurrent slot: the plan's replica layout
             # bounds useful concurrency regardless of node count.  Never
             # exceed the plan's slot count — running more concurrent
@@ -340,6 +412,7 @@ class ProteomePipeline:
             if span is not None:
                 span.set_attr("n_workers", n_workers)
                 span.set_attr("sim_walltime_seconds", sim.walltime_seconds)
+                span.set_attr("n_skipped_resume", len(restored))
             if tracer.enabled:
                 self._extend_sim_spans(tracer, sim, span, "features")
         return FeatureStageResult(
@@ -444,26 +517,32 @@ class ProteomePipeline:
                 "highmem_nodes": highmem_nodes,
             },
         ) as span:
+            restored = self._restore_completed(
+                "inference", [t.key for t in tasks]
+            )
+            pending = [t for t in tasks if t.key not in restored]
             execution = self._executor(
-                len(tasks), highmem_workers=exec_highmem
+                len(pending), highmem_workers=exec_highmem
             ).map(
                 run_model,
-                tasks,
+                pending,
                 retry_policy=exec_policy,
                 pass_spec=True,
                 stage="inference",
+                on_complete=self._stage_callback("inference"),
             )
             _raise_on_failures(
                 execution.records, "inference", allow=is_oom_error
             )
 
+            preds_by_key = {**restored, **execution.results}
             predictions: dict[str, list[Prediction]] = {}
             oom: list[tuple[str, str]] = []
             durations: dict[str, float] = {}
             for record_id, bundle in features.items():
                 for model in bank:
                     key = f"{record_id}/{model.name}"
-                    pred = execution.results.get(key)
+                    pred = preds_by_key.get(key)
                     if pred is None:
                         oom.append((record_id, model.name))
                         durations[key] = inference_task_seconds(
@@ -507,6 +586,7 @@ class ProteomePipeline:
                 span.set_attr("n_workers", len(workers))
                 span.set_attr("sim_walltime_seconds", sim.walltime_seconds)
                 span.set_attr("n_oom_failures", len(oom))
+                span.set_attr("n_skipped_resume", len(restored))
             if tracer.enabled:
                 self._extend_sim_spans(tracer, sim, span, "inference")
         top = {
@@ -552,12 +632,19 @@ class ProteomePipeline:
                 "n_nodes": self.relax_nodes,
             },
         ) as span:
+            restored = self._restore_completed("relax", list(structures))
+            pending = {
+                key: structure
+                for key, structure in structures.items()
+                if key not in restored
+            }
             batch = relax_many(
-                structures,
+                pending,
                 device="gpu",
-                executor=self._executor(len(structures)),
+                executor=self._executor(len(pending)),
+                on_complete=self._stage_callback("relax"),
             )
-            outcomes: dict[str, RelaxOutcome] = batch.outcomes
+            outcomes: dict[str, RelaxOutcome] = {**restored, **batch.outcomes}
             tasks = [
                 TaskSpec(
                     key=record_id, payload=structure, size_hint=len(structure)
@@ -577,6 +664,7 @@ class ProteomePipeline:
             if span is not None:
                 span.set_attr("n_workers", len(workers))
                 span.set_attr("sim_walltime_seconds", sim.walltime_seconds)
+                span.set_attr("n_skipped_resume", len(restored))
             if tracer.enabled:
                 self._extend_sim_spans(tracer, sim, span, "relax")
         return RelaxStageResult(
@@ -642,10 +730,20 @@ class ProteomePipeline:
             ):
                 result = self._run_stages(proteome, suite, factory)
             wall_seconds = tracer.now() - t_start
+        state = self.run_state
         session.annotate(
             preset=self.preset_name,
             n_targets=len(proteome),
             library_fingerprint=suite.fingerprint(),
+            resume={
+                "enabled": state is not None,
+                "resumed": bool(state is not None and state.resumed),
+                "skipped": {
+                    "features": result.feature_stage.skipped_resume,
+                    "inference": result.inference_stage.skipped_resume,
+                    "relax": result.relax_stage.skipped_resume,
+                },
+            },
             wall_seconds=wall_seconds,
             sim_walltime_seconds={
                 "features": result.feature_stage.simulation.walltime_seconds,

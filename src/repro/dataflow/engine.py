@@ -84,6 +84,7 @@ class ThreadedExecutor:
         failure_fn: Callable[[TaskSpec, WorkerInfo], str | None] | None = None,
         pass_spec: bool = False,
         stage: str = "dataflow",
+        on_complete: Callable[[TaskRecord, Any], None] | None = None,
     ) -> ExecutionResult:
         """Apply ``func`` to items given as (key, payload, size_hint).
 
@@ -105,6 +106,17 @@ class ThreadedExecutor:
         the caller's open stage span, and latency/failure/retry counts
         land on dotted ``<stage>.task.*`` metrics.  With the default
         no-op tracer the per-task cost is one branch.
+
+        ``on_complete`` is the per-record completion callback the
+        durable run state hangs off: it runs on the worker thread once
+        per :class:`TaskRecord` — every attempt, including failed ones
+        and the end-of-run unschedulable drain — with the task's result
+        (``None`` when the attempt failed), *before* the record is
+        published to the shared result set.  A write-ahead ledger can
+        therefore fsync the completion before anyone observes it.
+        Callback exceptions don't poison task accounting; they are
+        collected and re-raised as one ``RuntimeError`` after the run
+        drains, since losing durable state must be loud.
         """
         queue = TaskQueue()
         for item in items:
@@ -127,6 +139,7 @@ class ThreadedExecutor:
         cond = threading.Condition()
         records: list[TaskRecord] = []
         results: dict[str, Any] = {}
+        callback_errors: list[str] = []
         in_flight = 0
         tracer = get_tracer()
         metrics = get_metrics()
@@ -137,6 +150,17 @@ class ThreadedExecutor:
         escalations = metrics.counter(f"{stage}.task.oom_escalations")
         unschedulable = metrics.counter(f"{stage}.task.unschedulable")
         t0 = time.perf_counter()
+
+        def notify_complete(record: TaskRecord, value: Any) -> None:
+            if on_complete is None:
+                return
+            try:
+                on_complete(record, value if record.ok else None)
+            except Exception as exc:  # noqa: BLE001 - surfaced after drain
+                with cond:
+                    callback_errors.append(
+                        f"{record.key}: {type(exc).__name__}: {exc}"
+                    )
 
         def run_worker(worker: WorkerInfo) -> None:
             nonlocal in_flight
@@ -149,7 +173,10 @@ class ThreadedExecutor:
                         # nothing at all remain for this worker.
                         if in_flight == 0:
                             return
-                        cond.wait(timeout=0.05)
+                        # Untimed: every completion/requeue notifies the
+                        # condition below, so blocking here is safe and
+                        # idle workers no longer poll at 20 Hz.
+                        cond.wait()
                         task = queue.pop(worker)
                     in_flight += 1
                 start = time.perf_counter() - t0
@@ -207,6 +234,8 @@ class ThreadedExecutor:
                             category="dataflow",
                             attrs={"key": task.key, "attempt": task.attempt},
                         )
+                notify_complete(record, value)
+                if respawn is not None:
                     backoff = retry_policy.backoff_for(task.attempt)
                     if backoff > 0:
                         # The task slot stays in flight during backoff so
@@ -238,16 +267,21 @@ class ThreadedExecutor:
                 break
             unschedulable.inc()
             failures.inc()
-            records.append(
-                TaskRecord(
-                    key=task.key,
-                    worker_id=UNSCHEDULED_WORKER_ID,
-                    start=walltime,
-                    end=walltime,
-                    ok=False,
-                    error="NoEligibleWorker: task requires a high-memory worker",
-                    attempt=task.attempt,
-                )
+            record = TaskRecord(
+                key=task.key,
+                worker_id=UNSCHEDULED_WORKER_ID,
+                start=walltime,
+                end=walltime,
+                ok=False,
+                error="NoEligibleWorker: task requires a high-memory worker",
+                attempt=task.attempt,
+            )
+            notify_complete(record, None)
+            records.append(record)
+        if callback_errors:
+            raise RuntimeError(
+                f"on_complete callback failed for {len(callback_errors)} "
+                "record(s): " + "; ".join(callback_errors[:3])
             )
         records.sort(key=lambda r: r.start)
         return ExecutionResult(

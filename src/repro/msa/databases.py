@@ -266,6 +266,9 @@ class LibrarySuite:
     bfd: SequenceLibrary
     mgnify: SequenceLibrary
     pdb_seqs: SequenceLibrary
+    _fingerprint: str | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def libraries(self) -> list[SequenceLibrary]:
@@ -282,11 +285,20 @@ class LibrarySuite:
     def fingerprint(self) -> str:
         """Combined content hash of the four libraries (see
         :meth:`SequenceLibrary.fingerprint`); the suite component of
-        feature-cache keys."""
-        h = hashlib.sha256()
-        for lib in self.libraries:
-            h.update(lib.fingerprint().encode())
-        return h.hexdigest()
+        feature-cache keys.
+
+        Memoised on the suite itself — libraries are immutable once
+        built — so consumers never need an identity-keyed side table
+        (``id()``-keyed memos go stale when ids are reused after GC).
+        A racing double-compute is benign: both writers store the same
+        content hash.
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            for lib in self.libraries:
+                h.update(lib.fingerprint().encode())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def reduced(self) -> "LibrarySuite":
         """The reduced suite: BFD deduplicated (§3.2.1)."""

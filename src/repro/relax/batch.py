@@ -20,10 +20,10 @@ from __future__ import annotations
 import os
 from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Any, Callable, Iterable
 
 from ..dataflow.engine import ExecutionResult, ThreadedExecutor
-from ..dataflow.scheduler import TaskSpec
+from ..dataflow.scheduler import TaskRecord, TaskSpec
 from ..structure.protein import Structure
 from ..telemetry.tracer import get_tracer
 from .forcefield import ForceFieldParams
@@ -79,6 +79,7 @@ def relax_many(
     params: ForceFieldParams | None = None,
     n_workers: int = 0,
     executor: ThreadedExecutor | None = None,
+    on_complete: Callable[[TaskRecord, Any], None] | None = None,
 ) -> BatchRelaxResult:
     """Relax a batch of structures on executor threads.
 
@@ -86,7 +87,9 @@ def relax_many(
     iterable of structures (keyed by record id, disambiguated by model
     name).  ``n_workers=0`` auto-sizes to the machine, capped at 8 and
     at the batch size; pass an ``executor`` to reuse a configured one
-    (the pipeline does).  Task failures are not tolerated here — a
+    (the pipeline does).  ``on_complete`` forwards to
+    :meth:`ThreadedExecutor.map` so durable run state can ledger each
+    relaxation as it lands.  Task failures are not tolerated here — a
     relaxation that throws is a bug, not an operational event — so any
     failed record re-raises.
     """
@@ -112,7 +115,9 @@ def relax_many(
             if n <= 0:
                 n = max(1, min(8, os.cpu_count() or 1))
             executor = ThreadedExecutor(min(n, max(1, len(tasks))))
-        execution = executor.map(protocol.run_prepared, tasks, stage="relax")
+        execution = executor.map(
+            protocol.run_prepared, tasks, stage="relax", on_complete=on_complete
+        )
     failed = [r for r in execution.records if not r.ok]
     if failed:
         summary = "; ".join(f"{r.key}: {r.error}" for r in failed[:3])

@@ -1,0 +1,201 @@
+"""Write-ahead completion ledger: the campaign's durable task log.
+
+The paper's proteome campaigns survived node failures by re-submitting
+batch jobs and *skipping already-produced outputs* (§3.3).  The ledger
+is the generalisation of that filesystem convention: an append-only
+JSONL file with one record per task attempt —
+
+``{"stage": ..., "key": ..., "attempt": n, "ok": true, "error": ""}``
+
+— fsync'd on every append, so the set of completed task keys survives
+a SIGKILL at any instruction.  A stage consults :meth:`completed`
+before submitting work; anything already ledgered ``ok`` is skipped and
+restored from the artifact store instead of recomputed.
+
+Crash tolerance of the ledger *itself*: a kill mid-append leaves a
+truncated final line.  Replay parses the valid prefix, drops the torn
+tail, and truncates the file back to the last complete record before
+reopening for append — so one crash never poisons the next resume.
+Torn writes can only ever be the final line (appends are serialized by
+an in-process lock and each record is a single ``write`` call); an
+unparsable line *followed by valid data* means real corruption and
+raises instead of guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+__all__ = ["LEDGER_SCHEMA", "LedgerEntry", "CompletionLedger"]
+
+LEDGER_SCHEMA = "repro.runstate.ledger/1"
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One ledgered task attempt."""
+
+    stage: str
+    key: str
+    attempt: int = 1
+    ok: bool = True
+    error: str = ""
+
+
+class CompletionLedger:
+    """Append-only, fsync'd, replayable JSONL task-completion log.
+
+    ``fsync=False`` trades the write-ahead durability guarantee for
+    speed; tests and purely exploratory runs may want it, campaigns do
+    not.  All methods are thread-safe — executor worker threads append
+    concurrently.
+    """
+
+    def __init__(self, path: str | Path, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fsync = fsync
+        self._lock = threading.Lock()
+        self._entries: list[LedgerEntry] = []
+        self._completed: dict[str, set[str]] = {}
+        if self.path.exists() and self.path.stat().st_size > 0:
+            valid_end = self._replay()
+            if valid_end < self.path.stat().st_size:
+                # Crash mid-append: drop the torn tail so this session's
+                # appends start on a clean line boundary.
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(valid_end)
+        self._n_replayed = len(self._entries)
+        self._fh = open(self.path, "ab")
+        if self.path.stat().st_size == 0:
+            self._append({"schema": LEDGER_SCHEMA})
+
+    # -- Replay --------------------------------------------------------------
+    def _replay(self) -> int:
+        """Parse the existing file; returns the valid-prefix byte length."""
+        raw = self.path.read_bytes()
+        pos = 0
+        valid_end = 0
+        index = 0
+        while pos < len(raw):
+            nl = raw.find(b"\n", pos)
+            line = raw[pos : len(raw) if nl == -1 else nl]
+            payload: dict | None = None
+            if nl != -1:
+                try:
+                    decoded = json.loads(line.decode("utf-8"))
+                    if isinstance(decoded, dict):
+                        payload = decoded
+                except (UnicodeDecodeError, ValueError):
+                    payload = None
+            if payload is None:
+                if nl != -1 and raw.find(b"\n", nl + 1) != -1:
+                    raise ValueError(
+                        f"corrupt ledger entry at byte {pos} of {self.path}"
+                    )
+                break  # torn final append — replay the prefix
+            if index == 0:
+                if payload.get("schema") != LEDGER_SCHEMA:
+                    raise ValueError(
+                        f"{self.path} is not a {LEDGER_SCHEMA} ledger "
+                        f"(header {payload!r})"
+                    )
+            else:
+                entry = LedgerEntry(
+                    stage=str(payload["stage"]),
+                    key=str(payload["key"]),
+                    attempt=int(payload["attempt"]),
+                    ok=bool(payload["ok"]),
+                    error=str(payload.get("error", "")),
+                )
+                self._entries.append(entry)
+                if entry.ok:
+                    self._completed.setdefault(entry.stage, set()).add(entry.key)
+            index += 1
+            pos = nl + 1
+            valid_end = pos
+        return valid_end
+
+    # -- Append --------------------------------------------------------------
+    def _append(self, payload: dict) -> None:
+        data = (
+            json.dumps(payload, separators=(",", ":"), sort_keys=True).encode()
+            + b"\n"
+        )
+        self._fh.write(data)
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+
+    def record(
+        self,
+        stage: str,
+        key: str,
+        attempt: int = 1,
+        ok: bool = True,
+        error: str = "",
+    ) -> LedgerEntry:
+        """Durably append one attempt record (write-ahead: fsync'd)."""
+        entry = LedgerEntry(
+            stage=stage, key=key, attempt=int(attempt), ok=bool(ok), error=error
+        )
+        with self._lock:
+            self._append(asdict(entry))
+            self._entries.append(entry)
+            if entry.ok:
+                self._completed.setdefault(entry.stage, set()).add(entry.key)
+        return entry
+
+    # -- Queries -------------------------------------------------------------
+    @property
+    def entries(self) -> list[LedgerEntry]:
+        with self._lock:
+            return list(self._entries)
+
+    @property
+    def n_replayed(self) -> int:
+        """Entries inherited from a previous session at open time."""
+        return self._n_replayed
+
+    def completed(self, stage: str) -> set[str]:
+        """Task keys with at least one ``ok`` attempt in ``stage``."""
+        with self._lock:
+            return set(self._completed.get(stage, ()))
+
+    def is_complete(self, stage: str, key: str) -> bool:
+        with self._lock:
+            return key in self._completed.get(stage, ())
+
+    def stages(self) -> list[str]:
+        with self._lock:
+            seen = dict.fromkeys(e.stage for e in self._entries)
+        return list(seen)
+
+    def counts(self) -> dict[str, dict[str, int]]:
+        """Per-stage ``{"ok": n, "failed": m}`` attempt totals."""
+        out: dict[str, dict[str, int]] = {}
+        with self._lock:
+            for entry in self._entries:
+                bucket = out.setdefault(entry.stage, {"ok": 0, "failed": 0})
+                bucket["ok" if entry.ok else "failed"] += 1
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- Lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "CompletionLedger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

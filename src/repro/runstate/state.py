@@ -1,0 +1,104 @@
+"""RunState: one campaign's durable state directory.
+
+Binds the two halves of crash-safe resumption together under a single
+``--state-dir``:
+
+* ``ledger.jsonl`` — the write-ahead :class:`CompletionLedger`;
+* ``artifacts/``   — the content-addressed :class:`ArtifactStore`.
+
+The pipeline asks :meth:`restore` which of a stage's task keys are
+already done (ledgered ok *and* artifact readable — a ledgered key
+whose artifact went missing is recomputed, never trusted blindly), and
+hands :meth:`on_complete` to the executor so every finishing task is
+persisted the moment it lands: artifact first, then the fsync'd ledger
+record.  That ordering is the commit point — a kill between the two
+writes costs at most one recomputation, never a ledgered key without
+its output.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from ..telemetry.metrics import get_metrics
+from .ledger import CompletionLedger
+from .store import ArtifactStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..dataflow.scheduler import TaskRecord
+
+__all__ = ["RunState"]
+
+
+class RunState:
+    """Durable ledger + artifact store for a (possibly resumed) campaign."""
+
+    def __init__(self, state_dir: str | Path, fsync: bool = True) -> None:
+        self.dir = Path(state_dir)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.ledger = CompletionLedger(self.dir / "ledger.jsonl", fsync=fsync)
+        self.store = ArtifactStore(self.dir / "artifacts")
+
+    @property
+    def resumed(self) -> bool:
+        """Did this directory carry completions from a previous session?"""
+        return self.ledger.n_replayed > 0
+
+    # -- Resume --------------------------------------------------------------
+    def restore(self, stage: str, keys: Iterable[str]) -> dict[str, Any]:
+        """Artifacts for the subset of ``keys`` already completed.
+
+        Only keys that are both ledgered ok and readable from the store
+        are returned; a missing/corrupt artifact behind a ledgered key
+        is counted on ``runstate.restore.missing_artifact`` and left to
+        recompute.
+        """
+        done = self.ledger.completed(stage)
+        restored: dict[str, Any] = {}
+        missing = 0
+        for key in keys:
+            if key not in done:
+                continue
+            value = self.store.get(stage, key)
+            if value is None:
+                missing += 1
+                continue
+            restored[key] = value
+        if missing:
+            get_metrics().counter("runstate.restore.missing_artifact").inc(
+                missing
+            )
+        return restored
+
+    # -- Record --------------------------------------------------------------
+    def on_complete(self, stage: str) -> Callable[["TaskRecord", Any], None]:
+        """Executor callback persisting each attempt as it lands."""
+
+        def callback(record: "TaskRecord", value: Any) -> None:
+            if record.ok:
+                # Artifact before ledger: the ledger entry is the commit.
+                self.store.put(stage, record.key, value)
+            self.ledger.record(
+                stage,
+                record.key,
+                attempt=record.attempt,
+                ok=record.ok,
+                error=record.error,
+            )
+
+        return callback
+
+    # -- Introspection / lifecycle -------------------------------------------
+    def summary(self) -> dict[str, dict[str, int]]:
+        """Per-stage ledger attempt counts (CLI status line)."""
+        return self.ledger.counts()
+
+    def close(self) -> None:
+        self.ledger.close()
+
+    def __enter__(self) -> "RunState":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

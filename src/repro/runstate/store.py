@@ -1,0 +1,122 @@
+"""Content-addressed artifact store for stage outputs.
+
+The ledger says *that* a task finished; the store holds *what* it
+produced — the feature bundle, prediction, or relax outcome a resumed
+campaign restores instead of recomputing.  Artifacts are pickled under
+``<dir>/<stage>/<sha256(key)>.pkl`` (task keys contain ``/``, so the
+filename is the hash and the key travels inside the payload), published
+with the same unique-temp + atomic-rename discipline as
+:class:`~repro.cache.FeatureCache`, so a SIGKILL mid-``put`` leaves
+either the previous complete artifact or none at all.
+
+Write-ahead ordering is the caller's contract (and what
+:meth:`repro.runstate.state.RunState.on_complete` implements): the
+artifact is stored *before* the completion is ledgered, so every
+ledgered-ok key has a durable artifact.  The store still self-repairs
+if that invariant is ever violated: unreadable or mismatched entries
+are unlinked on lookup, counted on ``runstate.store.corrupt``, and the
+key falls back to recomputation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..atomicio import atomic_write_bytes
+from ..telemetry.metrics import get_metrics
+
+__all__ = ["STORE_SCHEMA", "ArtifactStore"]
+
+STORE_SCHEMA = "repro.runstate.store/1"
+
+
+class ArtifactStore:
+    """Durable ``(stage, key) -> object`` map with atomic publication."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        marker = self._dir / "store.json"
+        if marker.exists():
+            meta = json.loads(marker.read_text(encoding="utf-8"))
+            if meta.get("schema") != STORE_SCHEMA:
+                raise ValueError(
+                    f"{self._dir} is not a {STORE_SCHEMA} artifact store "
+                    f"(marker {meta!r})"
+                )
+        else:
+            atomic_write_bytes(
+                marker,
+                json.dumps({"schema": STORE_SCHEMA}, indent=2).encode(),
+            )
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    def path_for(self, stage: str, key: str) -> Path:
+        digest = hashlib.sha256(key.encode()).hexdigest()
+        return self._dir / stage / f"{digest}.pkl"
+
+    # -- Store / lookup ------------------------------------------------------
+    def put(self, stage: str, key: str, value: Any) -> Path:
+        """Durably store one artifact; concurrent writers never tear it."""
+        path = self.path_for(stage, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": STORE_SCHEMA,
+            "stage": stage,
+            "key": key,
+            "value": value,
+        }
+        atomic_write_bytes(path, pickle.dumps(payload))
+        return path
+
+    def get(self, stage: str, key: str) -> Any | None:
+        """The stored artifact, or ``None`` (corrupt slots self-repair)."""
+        path = self.path_for(stage, key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            payload = pickle.loads(raw)
+            if (
+                not isinstance(payload, dict)
+                or payload.get("schema") != STORE_SCHEMA
+                or payload.get("key") != key
+            ):
+                raise ValueError("artifact payload mismatch")
+        except Exception:  # unpickling garbage raises arbitrary types
+            path.unlink(missing_ok=True)
+            get_metrics().counter("runstate.store.corrupt").inc()
+            return None
+        return payload["value"]
+
+    def has(self, stage: str, key: str) -> bool:
+        return self.path_for(stage, key).exists()
+
+    # -- Introspection -------------------------------------------------------
+    def entries(self, stage: str) -> Iterator[tuple[str, Any]]:
+        """Iterate ``(key, value)`` over one stage's readable artifacts."""
+        stage_dir = self._dir / stage
+        if not stage_dir.is_dir():
+            return
+        for path in sorted(stage_dir.glob("*.pkl")):
+            try:
+                payload = pickle.loads(path.read_bytes())
+                if (
+                    isinstance(payload, dict)
+                    and payload.get("schema") == STORE_SCHEMA
+                ):
+                    yield payload["key"], payload["value"]
+            except Exception:
+                continue
+
+    def n_entries(self, stage: str) -> int:
+        stage_dir = self._dir / stage
+        return len(list(stage_dir.glob("*.pkl"))) if stage_dir.is_dir() else 0

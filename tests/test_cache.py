@@ -3,12 +3,16 @@
 from __future__ import annotations
 
 import pickle
+import threading
 
+import numpy as np
 import pytest
 
 from repro.cache import CacheStats, FeatureCache
 from repro.msa import build_suite, generate_features
+from repro.msa.databases import LibraryEntry, LibrarySuite, SequenceLibrary
 from repro.msa.features import FeatureGenConfig
+from repro.telemetry.metrics import MetricsRegistry, use_metrics
 
 CONFIG = FeatureGenConfig()
 
@@ -16,6 +20,25 @@ CONFIG = FeatureGenConfig()
 @pytest.fixture()
 def record(proteome):
     return list(proteome)[0]
+
+
+def _tiny_suite(tag: int) -> LibrarySuite:
+    """A minimal suite whose content (and fingerprint) depends on ``tag``."""
+
+    def lib(name: str) -> SequenceLibrary:
+        entry = LibraryEntry(
+            entry_id=f"{name}_{tag}",
+            encoded=np.full(24, tag % 20, dtype=np.int64),
+            family_id=None,
+            divergence=0.1,
+            annotated=False,
+            cluster_id=f"{name}_{tag}",
+        )
+        return SequenceLibrary(name=name, entries=[entry], modeled_bytes=tag)
+
+    return LibrarySuite(
+        uniref=lib("u"), bfd=lib("b"), mgnify=lib("m"), pdb_seqs=lib("p")
+    )
 
 
 class TestKeying:
@@ -45,6 +68,42 @@ class TestKeying:
         assert cache.key_for(record, suite, CONFIG) != cache.key_for(
             record, other, CONFIG
         )
+
+    def test_key_correct_after_id_reuse(self, record):
+        """Regression: fingerprints must not be memoised by ``id(suite)``.
+
+        CPython reuses object ids after garbage collection, so an
+        id-keyed side table can hand a *new* suite the fingerprint of a
+        dead one — silently wrong cache keys.  Memoising on the suite
+        instance itself is immune; this test forces an id collision and
+        checks the key tracks content, not identity.
+        """
+        cache = FeatureCache()
+        # Pre-build the candidate suites' parts so the loop below does no
+        # allocation between ``del`` and the next ``LibrarySuite()`` —
+        # that is what makes CPython hand the dead suite's id right back.
+        parts = [
+            {
+                "uniref": s.uniref,
+                "bfd": s.bfd,
+                "mgnify": s.mgnify,
+                "pdb_seqs": s.pdb_seqs,
+            }
+            for s in (_tiny_suite(tag) for tag in range(1, 200))
+        ]
+        suite = _tiny_suite(0)
+        stale_id = id(suite)
+        stale_fp = suite.fingerprint()
+        stale_key = cache.key_for(record, suite, CONFIG)
+        del suite
+        for kwargs in parts:
+            candidate = LibrarySuite(**kwargs)
+            if id(candidate) == stale_id:
+                assert candidate.fingerprint() != stale_fp
+                assert cache.key_for(record, candidate, CONFIG) != stale_key
+                return
+            del candidate
+        pytest.skip("interpreter never reused the object id")
 
     def test_identical_suites_share_keys(self, record, universe):
         # Content addressing: two separately built but identical suites
@@ -124,6 +183,64 @@ class TestDisk:
         fresh = FeatureCache(directory=tmp_path)
         assert fresh.get(key) is None
         assert fresh.stats == CacheStats(hits=0, misses=1)
+
+    def test_corrupt_entry_quarantined(self, record, suite, tmp_path):
+        """A bad disk entry is unlinked and counted, not retried forever."""
+        cache = FeatureCache(directory=tmp_path)
+        generate_features(record, suite, cache=cache)
+        key = cache.key_for(record, suite, CONFIG)
+        path = tmp_path / f"{key}.pkl"
+        path.write_bytes(b"\x80garbage not a pickle")
+        fresh = FeatureCache(directory=tmp_path)
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            assert fresh.get(key) is None
+        assert not path.exists()  # slot self-repairs on the next put
+        assert registry.counter_values()["feature.cache.corrupt"] == 1
+
+    def test_concurrent_puts_never_tear(self, suite, tmp_path):
+        """Racing writers of one key must always publish whole pickles.
+
+        Regression: a shared ``<key>.pkl.tmp`` scratch path let two
+        concurrent puts interleave write and rename and publish a torn
+        file.  With per-writer temp names, readers hitting disk
+        mid-storm either miss or load a complete bundle — never a
+        corrupt one.
+        """
+        writer_cache = FeatureCache(directory=tmp_path)
+        reader_cache = FeatureCache(directory=tmp_path)
+        payload = {"arr": np.arange(4096.0)}
+        key = "feedface" * 8
+        stop = threading.Event()
+        torn: list[str] = []
+
+        def writer() -> None:
+            while not stop.is_set():
+                writer_cache.put(key, payload)
+
+        def reader() -> None:
+            while not stop.is_set():
+                reader_cache.clear_memory()  # force the disk path
+                out = reader_cache.get(key)
+                if out is not None and not np.array_equal(
+                    out["arr"], payload["arr"]
+                ):
+                    torn.append("torn bundle observed")
+
+        registry = MetricsRegistry()
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        with use_metrics(registry):
+            for t in threads:
+                t.start()
+            timer = threading.Timer(0.5, stop.set)
+            timer.start()
+            for t in threads:
+                t.join()
+            timer.cancel()
+        assert torn == []
+        assert registry.counter_values().get("feature.cache.corrupt", 0) == 0
+        assert list(tmp_path.glob("*.tmp")) == []
 
     def test_put_writes_loadable_pickle(self, record, suite, tmp_path):
         cache = FeatureCache(directory=tmp_path)

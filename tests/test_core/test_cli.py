@@ -71,6 +71,43 @@ def test_campaign_summary(capsys):
     assert "pLDDT>70" in out
 
 
+CAMPAIGN_ARGS = [
+    "campaign",
+    "--species", "P_mercurii",
+    "--scale", "0.002",
+    "--seed", "5",
+    "--feature-nodes", "2",
+    "--inference-nodes", "1",
+    "--relax-nodes", "1",
+]
+
+
+def test_campaign_state_dir_then_resume(tmp_path, capsys):
+    state = tmp_path / "state"
+    rc = main(CAMPAIGN_ARGS + ["--state-dir", str(state)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "state    :" in out
+    assert (state / "ledger.jsonl").exists()
+
+    # Re-running against a used state dir without --resume is refused.
+    rc = main(CAMPAIGN_ARGS + ["--state-dir", str(state)])
+    assert rc == 2
+    assert "pass --resume" in capsys.readouterr().err
+
+    rc = main(CAMPAIGN_ARGS + ["--state-dir", str(state), "--resume"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "resume   : skipped" in out
+    assert "node-h" in out
+
+
+def test_campaign_resume_requires_state_dir(capsys):
+    rc = main(CAMPAIGN_ARGS + ["--resume"])
+    assert rc == 2
+    assert "--resume requires --state-dir" in capsys.readouterr().err
+
+
 def test_table1_mini(capsys):
     rc = main(["table1", "--n", "14", "--presets", "reduced_db", "--seed", "2"])
     assert rc == 0

@@ -1,0 +1,121 @@
+"""ThreadedExecutor completion callbacks and idle-wait discipline."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.dataflow import RetryPolicy, ThreadedExecutor
+from repro.dataflow.scheduler import TaskSpec
+from repro.dataflow.simulated import UNSCHEDULED_WORKER_ID
+
+
+def oom_on_first_attempt(task, worker):
+    return "OutOfMemoryError: injected" if task.attempt == 1 else None
+
+
+class TestOnComplete:
+    def test_every_attempt_reported(self):
+        """The callback sees failed attempts (value None) and retries."""
+        seen = []
+        lock = threading.Lock()
+
+        def on_complete(record, value):
+            with lock:
+                seen.append((record.key, record.attempt, record.ok, value))
+
+        ex = ThreadedExecutor(n_workers=2, highmem_workers=1)
+        result = ex.map(
+            lambda p: p * 10,
+            [("a", 1, 1.0), ("b", 2, 1.0)],
+            retry_policy=RetryPolicy(max_attempts=2, backoff_seconds=0.0),
+            failure_fn=oom_on_first_attempt,
+            on_complete=on_complete,
+        )
+        assert result.results == {"a": 10, "b": 20}
+        assert sorted(seen) == [
+            ("a", 1, False, None),
+            ("a", 2, True, 10),
+            ("b", 1, False, None),
+            ("b", 2, True, 20),
+        ]
+
+    def test_unschedulable_drain_reported(self):
+        """Tasks no worker can take still reach the ledger callback."""
+        seen = []
+        ex = ThreadedExecutor(n_workers=2, highmem_workers=0)
+        result = ex.map(
+            lambda p: p,
+            [
+                TaskSpec(key="std", payload=1, size_hint=1.0),
+                TaskSpec(
+                    key="hm", payload=2, size_hint=1.0, requires_highmem=True
+                ),
+            ],
+            on_complete=lambda r, v: seen.append((r.key, r.worker_id, r.ok, v)),
+        )
+        assert result.results == {"std": 1}
+        assert ("hm", UNSCHEDULED_WORKER_ID, False, None) in seen
+        assert [s for s in seen if s[0] == "std" and s[2] and s[3] == 1]
+
+    def test_callback_failure_is_loud_after_drain(self):
+        """A throwing callback surfaces as one error once the run drains."""
+        completed = []
+
+        def flaky(record, value):
+            completed.append(record.key)
+            if record.key == "bad":
+                raise OSError("disk full")
+
+        ex = ThreadedExecutor(n_workers=2)
+        with pytest.raises(RuntimeError, match="bad: OSError: disk full"):
+            ex.map(
+                lambda p: p,
+                [("good", 1, 1.0), ("bad", 2, 1.0), ("also-good", 3, 1.0)],
+                on_complete=flaky,
+            )
+        # The run drained first: every task still executed and reported.
+        assert sorted(completed) == ["also-good", "bad", "good"]
+
+
+class TestIdleWait:
+    def test_idle_workers_block_untimed(self, monkeypatch):
+        """Idle workers must wait on the condition with no timeout.
+
+        Regression: the worker loop used ``cond.wait(timeout=0.05)`` —
+        a 20 Hz poll per idle worker.  Completion/requeue already
+        notifies the condition, so an escalated straggler is picked up
+        purely by notification; this pins that no wait carries a
+        timeout while such a straggler resolves.
+        """
+        timeouts = []
+        original_wait = threading.Condition.wait
+
+        def spying_wait(self, timeout=None):
+            timeouts.append(timeout)
+            return original_wait(self, timeout)
+
+        monkeypatch.setattr(threading.Condition, "wait", spying_wait)
+
+        def slow_double(payload):
+            time.sleep(0.2)
+            return payload * 2
+
+        ex = ThreadedExecutor(n_workers=2, highmem_workers=1)
+        result = ex.map(
+            slow_double,
+            [("straggler", 21, 1.0)],
+            retry_policy=RetryPolicy(
+                max_attempts=2, backoff_seconds=0.0, escalate_on_oom=True
+            ),
+            failure_fn=oom_on_first_attempt,
+        )
+        # The retry escalated to the single highmem worker; the other
+        # worker had nothing left and idled on the condition meanwhile.
+        assert result.results == {"straggler": 42}
+        assert [r.ok for r in result.records] == [False, True]
+        assert result.records[-1].attempt == 2
+        assert timeouts, "expected at least one idle wait"
+        assert all(t is None for t in timeouts)

@@ -1,0 +1,145 @@
+"""Artifact-store semantics: atomic publication, corrupt self-repair."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runstate import STORE_SCHEMA, ArtifactStore, RunState
+from repro.telemetry.metrics import MetricsRegistry, use_metrics
+
+
+class TestStore:
+    def test_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        payload = {"coords": np.arange(12.0).reshape(4, 3)}
+        store.put("inference", "t1/model_1", payload)
+        assert store.has("inference", "t1/model_1")
+        out = store.get("inference", "t1/model_1")
+        assert np.array_equal(out["coords"], payload["coords"])
+        assert store.get("inference", "absent") is None
+        assert store.n_entries("inference") == 1
+
+    def test_keys_with_slashes_hash_to_filenames(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path = store.put("inference", "rec/model_3", 42)
+        assert path.parent == tmp_path / "inference"
+        assert "/" not in path.name
+        assert dict(store.entries("inference")) == {"rec/model_3": 42}
+
+    def test_schema_marker(self, tmp_path):
+        ArtifactStore(tmp_path)
+        marker = tmp_path / "store.json"
+        assert marker.exists()
+        ArtifactStore(tmp_path)  # reopening validates, not rewrites
+        marker.write_text('{"schema": "other/1"}')
+        with pytest.raises(ValueError, match="not a"):
+            ArtifactStore(tmp_path)
+
+    def test_entry_payload_schema(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path = store.put("relax", "t9", "value")
+        payload = pickle.loads(path.read_bytes())
+        assert payload["schema"] == STORE_SCHEMA
+        assert payload["stage"] == "relax"
+        assert payload["key"] == "t9"
+
+    def test_corrupt_entry_quarantined(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path = store.put("relax", "t1", {"x": 1})
+        path.write_bytes(b"\x80garbage not a pickle")
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            assert store.get("relax", "t1") is None
+        assert not path.exists()  # slot self-repaired
+        assert registry.counter_values()["runstate.store.corrupt"] == 1
+
+    def test_key_mismatch_is_corruption(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path = store.put("relax", "t1", 1)
+        # A payload whose embedded key disagrees with its filename.
+        path.write_bytes(
+            pickle.dumps(
+                {"schema": STORE_SCHEMA, "stage": "relax", "key": "t2",
+                 "value": 1}
+            )
+        )
+        with use_metrics(MetricsRegistry()):
+            assert store.get("relax", "t1") is None
+        assert not path.exists()
+
+    def test_concurrent_puts_never_tear(self, tmp_path):
+        """Racing writers of one key always publish a complete pickle."""
+        store = ArtifactStore(tmp_path)
+        blob = np.arange(4096.0)
+        stop = threading.Event()
+        errors: list[str] = []
+
+        def writer(tag: int) -> None:
+            while not stop.is_set():
+                store.put("inference", "hot-key", (tag, blob))
+
+        def reader() -> None:
+            while not stop.is_set():
+                out = store.get("inference", "hot-key")
+                if out is not None and not np.array_equal(out[1], blob):
+                    errors.append("torn artifact observed")
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        stop_timer = threading.Timer(0.5, stop.set)
+        stop_timer.start()
+        for t in threads:
+            t.join()
+        stop_timer.cancel()
+        assert errors == []
+        assert store.get("inference", "hot-key") is not None
+        leftovers = list((tmp_path / "inference").glob("*.tmp"))
+        assert leftovers == []
+
+
+class TestRunState:
+    def test_restore_requires_ledger_and_artifact(self, tmp_path):
+        state = RunState(tmp_path)
+        cb = state.on_complete("inference")
+
+        class FakeRecord:
+            key, attempt, ok, error = "t1", 1, True, ""
+
+        cb(FakeRecord(), {"pred": 7})
+        assert state.restore("inference", ["t1", "t2"]) == {"t1": {"pred": 7}}
+        state.close()
+
+        reopened = RunState(tmp_path)
+        assert reopened.resumed
+        assert reopened.restore("inference", ["t1"]) == {"t1": {"pred": 7}}
+        reopened.close()
+
+    def test_ledgered_key_with_missing_artifact_recomputes(self, tmp_path):
+        state = RunState(tmp_path)
+        state.ledger.record("inference", "ghost", ok=True)
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            assert state.restore("inference", ["ghost"]) == {}
+        assert (
+            registry.counter_values()["runstate.restore.missing_artifact"] == 1
+        )
+        state.close()
+
+    def test_failed_records_ledgered_without_artifact(self, tmp_path):
+        state = RunState(tmp_path)
+        cb = state.on_complete("inference")
+
+        class FailedRecord:
+            key, attempt, ok, error = "t1", 1, False, "OOM"
+
+        cb(FailedRecord(), None)
+        assert not state.store.has("inference", "t1")
+        assert state.ledger.completed("inference") == set()
+        assert len(state.ledger) == 1
+        state.close()
