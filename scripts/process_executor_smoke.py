@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the multiprocessing executor backend.
+
+Two layers, mirroring how the paper's deployment lost and recovered
+workers (§3.3):
+
+1. **API-level worker loss.**  A ``ProcessExecutor`` runs a task that
+   SIGKILLs its own worker process on the first attempt — the exact
+   failure a dead node presents to the scheduler: no exception, no
+   goodbye, just a closed pipe.  The run must detect the loss, requeue
+   the in-flight task under the retry policy, finish with **zero lost
+   keys**, and leave a ``WorkerLost`` failure record for the killed
+   attempt.
+
+2. **CLI campaign composition.**  A real ``repro campaign --executor
+   process`` subprocess with a durable ``--state-dir`` must complete,
+   and re-running it with ``--resume`` must skip every ledgered task —
+   the process backend composes with durable state exactly like the
+   threaded one (completions are ledgered in the parent).
+
+Run from the repo root (CI does)::
+
+    PYTHONPATH=src python scripts/process_executor_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.dataflow import ProcessExecutor, RetryPolicy, TaskSpec
+
+CAMPAIGN = [
+    sys.executable, "-m", "repro.cli", "campaign",
+    "--species", "P_mercurii",
+    "--scale", "0.002",
+    "--seed", "5",
+    "--feature-nodes", "2",
+    "--inference-nodes", "1",
+    "--relax-nodes", "1",
+    "--executor", "process",
+    "--compute-workers", "2",
+]
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"  ok: {message}")
+
+
+def _suicide_on_first_attempt(spec: TaskSpec):
+    if spec.key == "victim" and spec.attempt == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return f"{spec.key}@{spec.attempt}"
+
+
+def api_level_worker_loss() -> None:
+    specs = [TaskSpec(key="victim", size_hint=10.0)] + [
+        TaskSpec(key=f"t{i}", size_hint=float(i + 1)) for i in range(8)
+    ]
+    result = ProcessExecutor(n_workers=2).map(
+        _suicide_on_first_attempt,
+        specs,
+        pass_spec=True,
+        retry_policy=RetryPolicy(max_attempts=3, backoff_seconds=0.0),
+    )
+    check(result.lost_keys() == [], "zero lost keys after a worker SIGKILL")
+    victim = sorted(
+        (r for r in result.records if r.key == "victim"),
+        key=lambda r: r.attempt,
+    )
+    check(
+        len(victim) == 2 and not victim[0].ok,
+        "killed attempt left a failure record",
+    )
+    check(
+        "WorkerLost" in (victim[0].error or ""),
+        f"failure record names the worker loss: {victim[0].error!r}",
+    )
+    check(
+        victim[1].ok and result.results["victim"] == "victim@2",
+        "in-flight task was requeued and completed on attempt 2",
+    )
+    check(
+        all(result.results[f"t{i}"] == f"t{i}@1" for i in range(8)),
+        "bystander tasks all completed first attempt",
+    )
+
+
+def cli_campaign_composition() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="process-executor-"))
+    state_dir = workdir / "campaign-state"
+
+    fresh = subprocess.run(
+        CAMPAIGN + ["--state-dir", str(state_dir)],
+        capture_output=True, text=True,
+    )
+    check(
+        fresh.returncode == 0,
+        f"process-backend campaign completed (rc={fresh.returncode})",
+    )
+    check("quality  :" in fresh.stdout, "campaign reached the summary")
+    check(
+        (state_dir / "ledger.jsonl").exists(),
+        "durable ledger written by the parent process",
+    )
+
+    resumed = subprocess.run(
+        CAMPAIGN + ["--state-dir", str(state_dir), "--resume"],
+        capture_output=True, text=True,
+    )
+    check(
+        resumed.returncode == 0,
+        f"process-backend resume completed (rc={resumed.returncode})",
+    )
+    check(
+        "resume   : skipped" in resumed.stdout,
+        "resume skipped the ledgered work",
+    )
+
+
+def main() -> int:
+    print("[1/2] API-level worker kill -9 / requeue")
+    api_level_worker_loss()
+    print("[2/2] CLI campaign with --executor process + --state-dir/--resume")
+    cli_campaign_composition()
+    print("process-executor smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

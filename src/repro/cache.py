@@ -79,6 +79,27 @@ class FeatureCache:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._bind_counters()
+
+    def _bind_counters(self) -> None:
+        """Resolve metric handles once against the active registry.
+
+        ``get`` is the hottest cache path; re-resolving three counters
+        per lookup (a dict hit under the registry lock, each) is pure
+        overhead.  The registry identity is re-checked per lookup so a
+        ``use_metrics``/``set_metrics`` swap mid-session still lands
+        counts on the newly active registry.
+        """
+        self._registry = get_metrics()
+        self._hits_counter = self._registry.counter("feature.cache.hits")
+        self._misses_counter = self._registry.counter("feature.cache.misses")
+        self._corrupt_counter = self._registry.counter("feature.cache.corrupt")
+
+    def __reduce__(self):
+        # A worker process rehydrates a disk-backed cache by path — the
+        # pickle must not drag the in-memory bundle dict (or a lock)
+        # across; disk entries are the shared level between processes.
+        return (FeatureCache, (self._dir,))
 
     # -- Keys ----------------------------------------------------------------
     def key_for(
@@ -146,17 +167,16 @@ class FeatureCache:
         # Every lookup also lands on the active metrics registry — the
         # shared substrate stage results and exports read, replacing the
         # per-stage snapshot/delta plumbing the pipeline used to carry.
-        # Both counters are touched so an all-miss (or all-hit) run still
-        # exports the other one as an explicit zero.
-        metrics = get_metrics()
-        hits = metrics.counter("feature.cache.hits")
-        misses = metrics.counter("feature.cache.misses")
+        # All counters were created at bind time, so an all-miss (or
+        # all-hit) run still exports the other one as an explicit zero.
+        if get_metrics() is not self._registry:
+            self._bind_counters()
         if bundle is None:
-            misses.inc()
+            self._misses_counter.inc()
         else:
-            hits.inc()
+            self._hits_counter.inc()
         if corrupt:
-            metrics.counter("feature.cache.corrupt").inc()
+            self._corrupt_counter.inc()
         if bundle is not None and record is not None:
             bundle = replace(bundle, record=record)
         return bundle

@@ -66,6 +66,15 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--resume", action="store_true",
                    help="resume the campaign in --state-dir, skipping every "
                         "task already ledgered as complete")
+    c.add_argument("--executor", default="threaded",
+                   choices=["threaded", "process"],
+                   help="backend for the real per-record compute: worker "
+                        "threads (default) or worker processes with "
+                        "shared-memory array transport (escapes the GIL; "
+                        "survives a killed worker by requeuing its task)")
+    c.add_argument("--compute-workers", type=int, default=0,
+                   help="workers for the real compute (0 = auto: one per "
+                        "core, capped at 8)")
     # Fault-injection hook for the kill/resume smoke test: SIGKILL this
     # process after N inference completions have been durably recorded.
     c.add_argument("--crash-after-inference-tasks", type=int, default=None,
@@ -213,6 +222,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         feature_nodes=args.feature_nodes,
         inference_nodes=args.inference_nodes,
         relax_nodes=args.relax_nodes,
+        executor_backend=args.executor,
+        compute_workers=args.compute_workers,
         telemetry=session,
         run_state=state,
         task_observer=observer,

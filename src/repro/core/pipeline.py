@@ -34,6 +34,7 @@ from ..cluster.machine import ANDES, SUMMIT, MachineSpec
 from ..constants import REDUCED_DATASET_BYTES
 from ..dataflow.engine import ExecutionResult, ThreadedExecutor
 from ..dataflow.faults import RetryPolicy, is_oom_error
+from ..dataflow.process import ProcessExecutor
 from ..dataflow.scheduler import TaskRecord, TaskSpec, WorkerInfo, make_workers
 from ..dataflow.simulated import SimulationResult, simulate_dataflow
 from ..fold.generator import NativeFactory
@@ -45,7 +46,7 @@ from ..fold.memory import (
 from ..fold.model import Prediction, SurrogateFoldModel
 from ..iosim.replication import ReplicationPlan, paper_plan
 from ..msa.databases import LibrarySuite
-from ..msa.features import FeatureBundle, FeatureGenConfig, generate_features
+from ..msa.features import FeatureBundle, FeatureGenConfig
 from ..relax.batch import relax_many
 from ..relax.protocols import RelaxOutcome
 from ..runstate import RunState
@@ -54,6 +55,7 @@ from ..structure.protein import Structure
 from ..telemetry.metrics import get_metrics
 from ..telemetry.session import TelemetrySession
 from ..telemetry.tracer import get_tracer, spans_from_records
+from . import stagework
 from .presets import Preset, get_preset
 
 __all__ = [
@@ -252,6 +254,15 @@ class ProteomePipeline:
     #: 0 = auto (one per core, capped at 8); numpy releases the GIL in
     #: the kernels that dominate, so threads scale the science for real.
     compute_workers: int = 0
+    #: Executor backend for the real per-record work: ``"threaded"``
+    #: (default; workers are threads, scales where numpy drops the GIL)
+    #: or ``"process"`` (workers are OS processes pulling tasks over
+    #: pipes with shared-memory array transport — scales all Python
+    #: work past the GIL and survives a worker being killed outright).
+    #: Stage decomposition, retry/highmem semantics, the durable-state
+    #: callback and the task observer are identical on both: callbacks
+    #: always run in this (the coordinating) process.
+    executor_backend: str = "threaded"
     #: Optional content-addressed cache for the feature stage.
     feature_cache: FeatureCache | None = None
     #: Optional telemetry session.  When set, :meth:`run` activates its
@@ -295,12 +306,22 @@ class ProteomePipeline:
         )
         self._sim_offset = offset + sim.walltime_seconds
 
-    def _executor(self, n_items: int, highmem_workers: int = 0) -> ThreadedExecutor:
+    def _executor(
+        self, n_items: int, highmem_workers: int = 0
+    ) -> ThreadedExecutor | ProcessExecutor:
         n = self.compute_workers
         if n <= 0:
             n = max(1, min(8, os.cpu_count() or 1))
         n = min(n, max(1, n_items))
-        return ThreadedExecutor(n, highmem_workers=min(highmem_workers, n))
+        highmem = min(highmem_workers, n)
+        if self.executor_backend == "process":
+            return ProcessExecutor(n, highmem_workers=highmem)
+        if self.executor_backend != "threaded":
+            raise ValueError(
+                f"unknown executor backend {self.executor_backend!r}; "
+                "expected 'threaded' or 'process'"
+            )
+        return ThreadedExecutor(n, highmem_workers=highmem)
 
     # -- Durable state -------------------------------------------------------
     def _restore_completed(self, stage: str, keys: list[str]) -> dict[str, Any]:
@@ -381,12 +402,12 @@ class ProteomePipeline:
             )
             pending = [t for t in tasks if t.key not in restored]
             execution = self._executor(len(pending)).map(
-                lambda record: generate_features(
-                    record, suite, self.feature_config, cache=self.feature_cache
-                ),
+                stagework.feature_task,
                 pending,
                 stage="feature",
                 on_complete=self._stage_callback("feature"),
+                initializer=stagework.init_feature_stage,
+                initargs=(suite, self.feature_config, self.feature_cache),
             )
             _raise_on_failures(execution.records, "feature generation")
             bundles = {**restored, **execution.results}
@@ -472,28 +493,21 @@ class ProteomePipeline:
                 key = f"{record_id}/{model.name}"
                 memory_needed[key] = needed
                 biases[key] = bias
+                # Payload carries the model *index*, not the model: the
+                # worker-side bank (stagework.init_inference_stage) owns
+                # the factory, so a process worker never re-pickles it
+                # per task.  The budget follows the current attempt's
+                # placement class (see stagework.inference_task), so
+                # ``model.predict`` raises OOM exactly when the paper's
+                # deployment would have lost (or re-routed) the task.
                 tasks.append(
                     TaskSpec(
                         key=key,
-                        payload=(bundle, model),
+                        payload=(bundle, model.model_index, bias),
                         size_hint=bundle.length,
                         requires_highmem=requires_highmem,
                     )
                 )
-
-        # The real predictions run on the threaded executor with the
-        # exact (model, target) decomposition the simulation uses.  A
-        # task's memory budget follows its current placement class:
-        # highmem-routed (or retry-escalated) attempts get the 2 TB
-        # budget, so ``model.predict`` raises OOM exactly when the
-        # paper's deployment would have lost (or re-routed) the task.
-        def run_model(spec: TaskSpec) -> Prediction:
-            bundle, model = spec.payload
-            budget = hm_budget if spec.requires_highmem else std_budget
-            config = preset.config(
-                kingdom_bias=biases[spec.key], memory_budget_bytes=budget
-            )
-            return model.predict(bundle, config)
 
         # Escalation needs a highmem slot in the executor whenever the
         # simulation provisions highmem nodes or routing is on; backoff
@@ -524,12 +538,14 @@ class ProteomePipeline:
             execution = self._executor(
                 len(pending), highmem_workers=exec_highmem
             ).map(
-                run_model,
+                stagework.inference_task,
                 pending,
                 retry_policy=exec_policy,
                 pass_spec=True,
                 stage="inference",
                 on_complete=self._stage_callback("inference"),
+                initializer=stagework.init_inference_stage,
+                initargs=(factory, preset.name),
             )
             _raise_on_failures(
                 execution.records, "inference", allow=is_oom_error

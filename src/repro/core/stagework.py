@@ -1,0 +1,109 @@
+"""Per-task stage functions, shaped for cross-process execution.
+
+The pipeline's stages used to hand the executor closures over local
+state (the library suite, the model bank, the preset).  A closure works
+on the threaded backend but cannot cross a process boundary, so the
+process executor forces the split this module encodes:
+
+* a module-level **task function** per stage — picklable by reference,
+  taking only what rides in the :class:`~repro.dataflow.scheduler.TaskSpec`
+  payload — and
+* a module-level **initializer** per stage that stashes the heavy
+  shared state (suite, model bank, cache) into the process-local
+  :data:`_CTX` dict.
+
+:class:`~repro.dataflow.engine.ThreadedExecutor` runs the initializer
+once up front; :class:`~repro.dataflow.process.ProcessExecutor` runs it
+once per worker process.  Either way the task functions read the same
+``_CTX`` keys, so the pipeline drives both backends through one code
+path.  Under the default ``fork`` start method the initargs are
+inherited copy-on-write rather than pickled; under ``spawn`` they
+travel by pickle — which is why :class:`~repro.msa.kmer.KmerIndex`
+ships its frozen CSR arrays but not its derived lookup table, and
+:class:`~repro.cache.FeatureCache` reduces to its directory path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..fold.memory import (
+    highmem_worker_memory_bytes,
+    standard_worker_memory_bytes,
+)
+from ..fold.model import SurrogateFoldModel
+from ..msa.features import generate_features
+from .presets import get_preset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import FeatureCache
+    from ..dataflow.scheduler import TaskSpec
+    from ..fold.generator import NativeFactory
+    from ..fold.model import Prediction
+    from ..msa.databases import LibrarySuite
+    from ..msa.features import FeatureBundle, FeatureGenConfig
+
+__all__ = [
+    "init_feature_stage",
+    "feature_task",
+    "init_inference_stage",
+    "inference_task",
+]
+
+#: Process-local stage context, filled by the stage initializers.  One
+#: stage runs at a time per process, so a single dict is unambiguous.
+_CTX: dict[str, Any] = {}
+
+
+# -- Stage 1: feature generation ---------------------------------------------
+def init_feature_stage(
+    suite: "LibrarySuite",
+    config: "FeatureGenConfig | None",
+    cache: "FeatureCache | None",
+) -> None:
+    """Install the search context; one call serves every feature task.
+
+    Pre-warms the suite fingerprint memo here so each worker (or the
+    one fork parent) pays the content hash once, not once per cache
+    key computation.
+    """
+    suite.fingerprint()
+    _CTX["suite"] = suite
+    _CTX["feature_config"] = config
+    _CTX["feature_cache"] = cache
+
+
+def feature_task(record) -> "FeatureBundle":
+    """MSA search for one target against the installed suite."""
+    return generate_features(
+        record,
+        _CTX["suite"],
+        _CTX["feature_config"],
+        cache=_CTX["feature_cache"],
+    )
+
+
+# -- Stage 2: model inference -------------------------------------------------
+def init_inference_stage(factory: "NativeFactory", preset_name: str) -> None:
+    """Build the five-model bank and memory budgets once per process."""
+    _CTX["bank"] = [SurrogateFoldModel(factory, i) for i in range(5)]
+    _CTX["preset"] = get_preset(preset_name)
+    _CTX["std_budget"] = standard_worker_memory_bytes()
+    _CTX["hm_budget"] = highmem_worker_memory_bytes()
+
+
+def inference_task(spec: "TaskSpec") -> "Prediction":
+    """One (target, model) prediction; needs the live spec.
+
+    The payload is ``(bundle, model_index, kingdom_bias)``; the memory
+    budget follows the *current attempt's* placement class
+    (``spec.requires_highmem``), so a retry escalated to a high-memory
+    worker predicts under the 2 TB budget its new home provides.
+    """
+    bundle, model_index, bias = spec.payload
+    model = _CTX["bank"][model_index]
+    budget = _CTX["hm_budget"] if spec.requires_highmem else _CTX["std_budget"]
+    config = _CTX["preset"].config(
+        kingdom_bias=bias, memory_budget_bytes=budget
+    )
+    return model.predict(bundle, config)

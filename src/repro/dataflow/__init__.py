@@ -1,7 +1,8 @@
-"""Dataflow substrate: Dask-like queue/worker model, two executors, reporting."""
+"""Dataflow substrate: Dask-like queue/worker model, three executors, reporting."""
 
 from .client import Client, Future, SchedulerService
 from .engine import ExecutionResult, ThreadedExecutor
+from .process import ProcessExecutor
 from .faults import (
     FaultInjector,
     RetryPolicy,
@@ -19,6 +20,7 @@ from .reporting import (
     write_task_csv,
 )
 from .scheduler import TaskQueue, TaskRecord, TaskSpec, WorkerInfo, make_workers
+from .shm import EncodedPayload, ShmRef, decode_payload, encode_payload
 from .simulated import SimulationResult, simulate_dataflow
 
 __all__ = [
@@ -27,6 +29,11 @@ __all__ = [
     "SchedulerService",
     "ExecutionResult",
     "ThreadedExecutor",
+    "ProcessExecutor",
+    "EncodedPayload",
+    "ShmRef",
+    "encode_payload",
+    "decode_payload",
     "FaultInjector",
     "RetryPolicy",
     "is_oom_error",

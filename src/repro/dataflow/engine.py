@@ -14,6 +14,7 @@ retries with escalate-to-highmem on OOM-class failures.
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
 from dataclasses import dataclass, field, replace
@@ -42,8 +43,14 @@ class ExecutionResult:
 
     @property
     def n_failed(self) -> int:
-        """Failed attempts (a retried-then-recovered task counts once)."""
-        return sum(1 for r in self.records if not r.ok)
+        """Distinct task keys with at least one failed attempt.
+
+        A retried-then-recovered task counts once, however many
+        attempts it burned; per-attempt failure counts live on the
+        ``<stage>.task.failures`` metric and in
+        :func:`~repro.dataflow.reporting.summarize_records`.
+        """
+        return len({r.key for r in self.records if not r.ok})
 
     def lost_keys(self) -> list[str]:
         """Task keys with no successful attempt — lost targets."""
@@ -85,6 +92,8 @@ class ThreadedExecutor:
         pass_spec: bool = False,
         stage: str = "dataflow",
         on_complete: Callable[[TaskRecord, Any], None] | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
     ) -> ExecutionResult:
         """Apply ``func`` to items given as (key, payload, size_hint).
 
@@ -117,7 +126,15 @@ class ThreadedExecutor:
         Callback exceptions don't poison task accounting; they are
         collected and re-raised as one ``RuntimeError`` after the run
         drains, since losing durable state must be loud.
+
+        ``initializer(*initargs)`` runs once before any task — the
+        same hook :class:`~repro.dataflow.process.ProcessExecutor` runs
+        once *per worker process*, so stage code that sets up a shared
+        context (library suite, model bank) works identically on both
+        backends.
         """
+        if initializer is not None:
+            initializer(*initargs)
         queue = TaskQueue()
         for item in items:
             if isinstance(item, TaskSpec):
@@ -141,6 +158,12 @@ class ThreadedExecutor:
         results: dict[str, Any] = {}
         callback_errors: list[str] = []
         in_flight = 0
+        # Respawned tasks waiting out a retry backoff: (ready_at, seq,
+        # task) min-heap.  Parking them here instead of sleeping on the
+        # worker thread keeps every worker slot draining other tasks
+        # for the whole backoff window.
+        deferred: list[tuple[float, int, TaskSpec]] = []
+        defer_seq = 0
         tracer = get_tracer()
         metrics = get_metrics()
         # Created eagerly so a clean run still exports zeroed counters.
@@ -162,22 +185,45 @@ class ThreadedExecutor:
                         f"{record.key}: {type(exc).__name__}: {exc}"
                     )
 
+        def promote_ready(now: float) -> None:
+            """Move backoff-expired respawns onto the queue (holds cond)."""
+            promoted = False
+            while deferred and deferred[0][0] <= now:
+                _, _, respawned = heapq.heappop(deferred)
+                queue.submit(respawned)
+                promoted = True
+            if promoted:
+                # A promoted task may only be eligible for *another*
+                # worker (highmem escalation) — wake everyone.
+                cond.notify_all()
+
         def run_worker(worker: WorkerInfo) -> None:
-            nonlocal in_flight
+            nonlocal in_flight, defer_seq
             while True:
                 with cond:
-                    task = queue.pop(worker)
-                    while task is None:
-                        # No eligible task and nothing running that could
-                        # requeue one: only ineligible (highmem) tasks or
-                        # nothing at all remain for this worker.
-                        if in_flight == 0:
-                            return
-                        # Untimed: every completion/requeue notifies the
-                        # condition below, so blocking here is safe and
-                        # idle workers no longer poll at 20 Hz.
-                        cond.wait()
+                    while True:
+                        promote_ready(time.perf_counter() - t0)
                         task = queue.pop(worker)
+                        if task is not None:
+                            break
+                        # No eligible task, nothing running that could
+                        # requeue one and nothing waiting out a backoff:
+                        # only ineligible (highmem) tasks or nothing at
+                        # all remain for this worker.
+                        if in_flight == 0 and not deferred:
+                            return
+                        # Untimed unless a deferred respawn needs a
+                        # wake-up at its ready time: completion/requeue
+                        # notifies the condition, so idle workers never
+                        # poll.
+                        timeout = None
+                        if deferred:
+                            timeout = max(
+                                deferred[0][0]
+                                - (time.perf_counter() - t0),
+                                0.0,
+                            )
+                        cond.wait(timeout)
                     in_flight += 1
                 start = time.perf_counter() - t0
                 ok, error, value = True, "", None
@@ -235,18 +281,27 @@ class ThreadedExecutor:
                             attrs={"key": task.key, "attempt": task.attempt},
                         )
                 notify_complete(record, value)
-                if respawn is not None:
-                    backoff = retry_policy.backoff_for(task.attempt)
-                    if backoff > 0:
-                        # The task slot stays in flight during backoff so
-                        # no worker concludes the run is drained.
-                        time.sleep(backoff)
                 with cond:
                     records.append(record)
                     if ok:
                         results[task.key] = value
                     if respawn is not None:
-                        queue.submit(respawn)
+                        backoff = retry_policy.backoff_for(task.attempt)
+                        if backoff > 0:
+                            # Defer instead of sleeping on this thread:
+                            # the slot keeps draining other tasks and
+                            # the run stays live via the non-empty heap.
+                            defer_seq += 1
+                            heapq.heappush(
+                                deferred,
+                                (
+                                    time.perf_counter() - t0 + backoff,
+                                    defer_seq,
+                                    respawn,
+                                ),
+                            )
+                        else:
+                            queue.submit(respawn)
                     in_flight -= 1
                     cond.notify_all()
 

@@ -192,6 +192,7 @@ def summarize_records(records: list[TaskRecord]) -> dict:
         return {
             "n_tasks": 0,
             "n_failed": 0,
+            "n_failed_keys": 0,
             "n_retried": 0,
             "n_lost": 0,
             "lost_keys": [],
@@ -207,7 +208,10 @@ def summarize_records(records: list[TaskRecord]) -> dict:
     lost = lost_keys(records)
     return {
         "n_tasks": len(records),
+        # Per-attempt failure count; ``n_failed_keys`` is the distinct
+        # per-task view the executors' ``n_failed`` properties report.
         "n_failed": sum(1 for r in records if not r.ok),
+        "n_failed_keys": len({r.key for r in records if not r.ok}),
         "n_retried": sum(1 for r in records if r.attempt > 1),
         "n_lost": len(lost),
         "lost_keys": lost,

@@ -1,0 +1,242 @@
+"""Shared-memory payload transport for the process executor.
+
+The paper's Dask deployment moves feature pickles between scheduler and
+workers over the node fabric; at one-node scale the equivalent tax is
+pickling every large numpy array through a multiprocessing pipe twice
+(parent -> worker payloads, worker -> parent results).  This module
+removes that copy from the pipe: a payload is split into
+
+* a *skeleton* — the original object tree with every large ndarray
+  replaced by a tiny :class:`ShmRef` placeholder — which still travels
+  as a (now small) pickle, and
+* one ``multiprocessing.shared_memory`` segment per message holding the
+  raw bytes of all extracted arrays back to back.
+
+The receiver attaches the segment, copies each array back out, grafts
+it into the skeleton, then closes *and unlinks* the segment.  Receiver
+unlinks is the ownership rule everywhere: a segment is consumed exactly
+once, by the process the message was addressed to, and the parent
+unlinks orphaned payload segments itself when a worker dies mid-task
+(see ``repro.dataflow.process``).  Register/unregister pairs land on
+the one resource-tracker process the worker pool shares with its
+parent, so no "leaked shared_memory" warnings survive a clean run.
+
+Arrays smaller than ``min_bytes`` ride the skeleton pickle — a segment
+per 80-byte coordinate stub would cost more in syscalls than it saves
+in copying.  Object trees are walked structurally (dict / list / tuple
+/ namedtuple / dataclass); anything else is left to the pickle whole.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_MIN_SHM_BYTES",
+    "ShmRef",
+    "EncodedPayload",
+    "encode_payload",
+    "decode_payload",
+    "unlink_segment",
+]
+
+#: Arrays at or above this many bytes move to the shared segment;
+#: smaller ones stay inline in the skeleton pickle.  4 KiB ~ one page:
+#: below that the pipe copy is cheaper than an shm attach.
+DEFAULT_MIN_SHM_BYTES: int = 4096
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """Placeholder for an ndarray extracted into the shared segment."""
+
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class EncodedPayload:
+    """A skeleton plus the name of the segment its arrays live in.
+
+    ``segment=None`` means nothing crossed the size threshold and the
+    skeleton is the payload verbatim.  ``nbytes`` is the segment size —
+    the transport accounting benchmarks report.
+    """
+
+    skeleton: Any
+    segment: str | None = None
+    nbytes: int = 0
+
+
+def _walk_encode(
+    obj: Any, arrays: list[np.ndarray], refs: list[ShmRef], min_bytes: int
+) -> Any:
+    """Copy of ``obj`` with large arrays appended to ``arrays``.
+
+    ``refs`` grows in lockstep with ``arrays``; offsets are filled in
+    once total size is known.  Unrecognised containers are returned
+    unchanged (their arrays ride the pickle).
+    """
+    if isinstance(obj, np.ndarray):
+        if obj.nbytes < min_bytes or obj.dtype.hasobject:
+            return obj
+        arr = np.ascontiguousarray(obj)
+        arrays.append(arr)
+        # Negative offsets are per-array placeholders (unique even for
+        # equal arrays, so the final-offset mapping never collides);
+        # they are rewritten to real segment offsets before sending.
+        placeholder = ShmRef(
+            offset=-len(arrays), shape=tuple(arr.shape), dtype=arr.dtype.str
+        )
+        refs.append(placeholder)
+        return placeholder
+    if isinstance(obj, dict):
+        return {
+            k: _walk_encode(v, arrays, refs, min_bytes)
+            for k, v in obj.items()
+        }
+    if isinstance(obj, (list, tuple)):
+        items = [_walk_encode(v, arrays, refs, min_bytes) for v in obj]
+        if isinstance(obj, list):
+            return items
+        if hasattr(obj, "_fields"):  # namedtuple
+            return type(obj)(*items)
+        return tuple(items)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        changes = {}
+        try:
+            for f in dataclasses.fields(obj):
+                old = getattr(obj, f.name)
+                new = _walk_encode(old, arrays, refs, min_bytes)
+                if new is not old:
+                    changes[f.name] = new
+            if not changes:
+                return obj
+            return dataclasses.replace(obj, **changes)
+        except (TypeError, ValueError):
+            # Non-replaceable dataclass (init=False fields, custom
+            # __init__): leave it whole; its arrays ride the pickle.
+            return obj
+    return obj
+
+
+def _walk_decode(obj: Any, arrays: dict[ShmRef, np.ndarray]) -> Any:
+    if isinstance(obj, ShmRef):
+        return arrays[obj]
+    if isinstance(obj, dict):
+        return {k: _walk_decode(v, arrays) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        items = [_walk_decode(v, arrays) for v in obj]
+        if isinstance(obj, list):
+            return items
+        if hasattr(obj, "_fields"):
+            return type(obj)(*items)
+        return tuple(items)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        changes = {}
+        for f in dataclasses.fields(obj):
+            old = getattr(obj, f.name)
+            new = _walk_decode(old, arrays)
+            if new is not old:
+                changes[f.name] = new
+        if not changes:
+            return obj
+        return dataclasses.replace(obj, **changes)
+    return obj
+
+
+def encode_payload(
+    obj: Any, min_bytes: int = DEFAULT_MIN_SHM_BYTES
+) -> EncodedPayload:
+    """Extract large arrays from ``obj`` into one shared segment.
+
+    The sender's mapping is closed before returning — the segment lives
+    on under its name until the receiver (or the parent's orphan
+    cleanup) unlinks it.
+    """
+    arrays: list[np.ndarray] = []
+    refs: list[ShmRef] = []
+    skeleton = _walk_encode(obj, arrays, refs, min_bytes)
+    if not arrays:
+        return EncodedPayload(skeleton=obj)
+    total = sum(a.nbytes for a in arrays)
+    seg = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    try:
+        offset = 0
+        final_refs: dict[ShmRef, ShmRef] = {}
+        for arr, ref in zip(arrays, refs):
+            view = np.ndarray(
+                arr.shape, dtype=arr.dtype, buffer=seg.buf, offset=offset
+            )
+            view[...] = arr
+            final_refs[ref] = dataclasses.replace(ref, offset=offset)
+            offset += arr.nbytes
+            del view
+        skeleton = _walk_decode(skeleton, final_refs)
+        name = seg.name
+    finally:
+        seg.close()
+    return EncodedPayload(skeleton=skeleton, segment=name, nbytes=total)
+
+
+def decode_payload(payload: EncodedPayload) -> Any:
+    """Rebuild the original object; consumes (unlinks) the segment."""
+    if not isinstance(payload, EncodedPayload):
+        return payload
+    if payload.segment is None:
+        return payload.skeleton
+    seg = shared_memory.SharedMemory(name=payload.segment)
+    try:
+        refs: list[ShmRef] = []
+        _collect_refs(payload.skeleton, refs)
+        arrays = {
+            ref: np.ndarray(
+                ref.shape,
+                dtype=np.dtype(ref.dtype),
+                buffer=seg.buf,
+                offset=ref.offset,
+            ).copy()
+            for ref in refs
+        }
+        return _walk_decode(payload.skeleton, arrays)
+    finally:
+        seg.close()
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # already reclaimed by orphan cleanup
+            pass
+
+
+def _collect_refs(obj: Any, out: list[ShmRef]) -> None:
+    if isinstance(obj, ShmRef):
+        out.append(obj)
+    elif isinstance(obj, dict):
+        for v in obj.values():
+            _collect_refs(v, out)
+    elif isinstance(obj, (list, tuple)):
+        for v in obj:
+            _collect_refs(v, out)
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        for f in dataclasses.fields(obj):
+            _collect_refs(getattr(obj, f.name), out)
+
+
+def unlink_segment(name: str | None) -> None:
+    """Reclaim a segment whose receiver died before consuming it."""
+    if name is None:
+        return
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    seg.close()
+    try:
+        seg.unlink()
+    except FileNotFoundError:
+        pass

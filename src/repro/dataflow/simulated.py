@@ -65,8 +65,13 @@ class SimulationResult:
 
     @property
     def n_failed(self) -> int:
-        """Failed attempts (a retried-then-recovered task counts once)."""
-        return sum(1 for r in self.records if not r.ok)
+        """Distinct task keys with at least one failed attempt.
+
+        A retried-then-recovered task counts once, however many
+        attempts it burned; per-attempt failure counts live in
+        :func:`~repro.dataflow.reporting.summarize_records`.
+        """
+        return len({r.key for r in self.records if not r.ok})
 
     def lost_keys(self) -> list[str]:
         """Task keys with no successful attempt — lost targets."""

@@ -113,11 +113,31 @@ class KmerIndex:
         self._offsets = np.append(starts, sorted_codes.size).astype(np.int64)
         self._counts_f64 = np.asarray(self._kmer_counts, dtype=np.float64)
         self._pending = []
+        self._build_lut()
+
+    def _build_lut(self) -> None:
+        """Dense code -> vocab-position table, when the span is small."""
+        assert self._codes is not None
         span = int(ALPHABET_SIZE) ** self.k
         if self._codes.size and span <= _LUT_MAX_SPAN:
             lut = np.full(span, -1, dtype=np.int32)
             lut[self._codes] = np.arange(self._codes.size, dtype=np.int32)
             self._lut = lut
+
+    # -- pickling ------------------------------------------------------------
+    # A process-executor worker rehydrates the index once per process,
+    # so the pickle carries only the frozen CSR arrays: the dense LUT
+    # (33 MB at k=5) is derived state rebuilt on arrival, and pending
+    # per-sequence code sets are folded in by freezing before export.
+    def __getstate__(self) -> dict:
+        self.freeze()
+        state = self.__dict__.copy()
+        state["_lut"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._build_lut()
 
     def _vocab_positions(
         self, codes: np.ndarray
@@ -130,6 +150,15 @@ class KmerIndex:
         span is small enough, a binary search otherwise.
         """
         assert self._codes is not None
+        if self._codes.size == 0:
+            # An empty vocabulary matches nothing.  The searchsorted
+            # fallback below would clamp positions to ``size - 1 == -1``
+            # and fault on the gather, so short-circuit: no positions,
+            # all-False mask (callers then report zero hits everywhere).
+            return (
+                np.empty(0, dtype=np.int64),
+                np.zeros(codes.size, dtype=bool),
+            )
         if self._lut is not None:
             valid = (codes >= 0) & (codes < self._lut.size)
             if valid.all():

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
 from ..dataflow.engine import ExecutionResult, ThreadedExecutor
+from ..dataflow.process import ProcessExecutor
 from ..dataflow.scheduler import TaskRecord, TaskSpec
 from ..structure.protein import Structure
 from ..telemetry.tracer import get_tracer
@@ -78,20 +79,22 @@ def relax_many(
     device: str = "gpu",
     params: ForceFieldParams | None = None,
     n_workers: int = 0,
-    executor: ThreadedExecutor | None = None,
+    executor: ThreadedExecutor | ProcessExecutor | None = None,
     on_complete: Callable[[TaskRecord, Any], None] | None = None,
 ) -> BatchRelaxResult:
-    """Relax a batch of structures on executor threads.
+    """Relax a batch of structures on executor workers.
 
     ``structures`` may be a mapping (keys become task keys) or any
     iterable of structures (keyed by record id, disambiguated by model
     name).  ``n_workers=0`` auto-sizes to the machine, capped at 8 and
     at the batch size; pass an ``executor`` to reuse a configured one
-    (the pipeline does).  ``on_complete`` forwards to
-    :meth:`ThreadedExecutor.map` so durable run state can ledger each
-    relaxation as it lands.  Task failures are not tolerated here — a
-    relaxation that throws is a bug, not an operational event — so any
-    failed record re-raises.
+    (the pipeline does) — threaded or process-backed, since the task
+    callable (a bound protocol method) and the prepared systems both
+    pickle.  ``on_complete`` forwards to the executor's ``map`` so
+    durable run state can ledger each relaxation as it lands; it runs
+    in this process on either backend.  Task failures are not tolerated
+    here — a relaxation that throws is a bug, not an operational event —
+    so any failed record re-raises.
     """
     by_key = _as_mapping(structures)
     protocol = protocol or SinglePassRelaxProtocol(device=device, params=params)

@@ -1,5 +1,7 @@
 """Fault-tolerance tests: retries, highmem escalation, injection."""
 
+import time
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -211,7 +213,10 @@ class TestSimulatedRetries:
             task_overhead=0.0, startup=0.0,
         )
         assert len(res.records) == 15  # 5 tasks x 3 attempts
-        assert res.n_failed == 15
+        # n_failed counts distinct keys, not attempts: 5 tasks failed,
+        # however many attempts each burned.
+        assert res.n_failed == 5
+        assert sum(1 for r in res.records if not r.ok) == 15
         assert len(res.lost_keys()) == 5
         for key in (t.key for t in tasks):
             attempts = sorted(
@@ -328,6 +333,53 @@ class TestThreadedRetries:
             ThreadedExecutor(n_workers=2, highmem_workers=3)
         with pytest.raises(ValueError):
             ThreadedExecutor(n_workers=2, highmem_workers=-1)
+
+    def test_n_failed_counts_distinct_keys(self):
+        def flaky(spec):
+            if spec.attempt < 3:
+                raise RuntimeError(f"flaky attempt {spec.attempt}")
+            return spec.key
+
+        res = ThreadedExecutor(n_workers=2).map(
+            flaky,
+            _tasks(4),
+            pass_spec=True,
+            retry_policy=RetryPolicy(max_attempts=3, backoff_seconds=0.0),
+        )
+        # Every key failed twice then recovered: 12 records, 8 failed
+        # attempts, but n_failed counts keys with >= 1 failed attempt.
+        assert len(res.records) == 12
+        assert sum(1 for r in res.records if not r.ok) == 8
+        assert res.n_failed == 4
+        assert res.lost_keys() == []
+
+    def test_deferred_backoff_does_not_park_slot(self):
+        # One worker; the injected key backs off ~0.5 s.  The other
+        # tasks must complete during that window, not after it.
+        def fail_once(task, worker):
+            if task.key == "slow" and task.attempt == 1:
+                return "RuntimeError: injected"
+            return None
+
+        tasks = [TaskSpec(key="slow", size_hint=9.0)] + _tasks(4)
+        t0 = time.perf_counter()
+        res = ThreadedExecutor(n_workers=1).map(
+            lambda x: x,
+            tasks,
+            failure_fn=fail_once,
+            retry_policy=RetryPolicy(
+                max_attempts=2, backoff_seconds=0.5, backoff_factor=1.0
+            ),
+        )
+        assert res.lost_keys() == []
+        retry = max(
+            (r for r in res.records if r.key == "slow"),
+            key=lambda r: r.attempt,
+        )
+        others_done = max(r.end for r in res.records if r.key != "slow")
+        assert retry.ok and retry.attempt == 2
+        assert others_done < retry.start
+        assert time.perf_counter() - t0 < 5.0
 
 
 class TestCsvSchema:

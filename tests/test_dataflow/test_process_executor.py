@@ -1,0 +1,323 @@
+"""ProcessExecutor: multiprocessing backend of the dataflow engine.
+
+Covers the contract shared with :class:`ThreadedExecutor` (results,
+retries, highmem gating, unschedulable drain, callbacks) plus what only
+a process pool can express: shared-memory payload transport, worker
+kill -9 detection with requeue, parent-side callback/metric/span
+execution, and the all-workers-dead drain.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.dataflow import (
+    FaultInjector,
+    ProcessExecutor,
+    RetryPolicy,
+    TaskSpec,
+    ThreadedExecutor,
+)
+from repro.telemetry.metrics import MetricsRegistry, get_metrics, use_metrics
+from repro.telemetry.tracer import Tracer, use_tracer
+
+
+# -- module-level task functions (must pickle by reference) -------------------
+def _double(payload):
+    return payload * 2
+
+
+def _echo(payload):
+    return payload
+
+
+def _double_array(payload):
+    return {"out": payload["x"] * 2.0}
+
+
+def _boom(payload):
+    raise ValueError(f"bad payload {payload}")
+
+
+def _flaky_until_attempt_3(spec):
+    if spec.attempt < 3:
+        raise RuntimeError(f"flaky attempt {spec.attempt}")
+    return spec.key
+
+
+def _suicide_on_first_attempt(spec):
+    if spec.attempt == 1 and spec.key.startswith("victim"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return f"{spec.key}@{spec.attempt}"
+
+
+def _always_suicide(spec):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _count_and_echo(payload):
+    get_metrics().counter("test.worker.widgets").inc()
+    return payload
+
+
+_INIT_VALUE = {}
+
+
+def _remember_init(value):
+    _INIT_VALUE["v"] = value
+
+
+def _read_init(payload):
+    return (_INIT_VALUE.get("v"), os.getpid())
+
+
+def _tasks(n, prefix="t", **kwargs):
+    return [
+        TaskSpec(key=f"{prefix}{i}", size_hint=float(i % 7 + 1), **kwargs)
+        for i in range(n)
+    ]
+
+
+class TestBasics:
+    def test_results_match_threaded(self):
+        items = [(f"k{i}", i, float(i)) for i in range(20)]
+        threaded = ThreadedExecutor(n_workers=4).map(_double, items)
+        process = ProcessExecutor(n_workers=4).map(_double, items)
+        assert process.results == threaded.results
+        assert process.n_failed == 0
+        assert process.lost_keys() == []
+        assert len(process.records) == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(n_workers=0)
+        with pytest.raises(ValueError):
+            ProcessExecutor(n_workers=2, highmem_workers=3)
+
+    def test_bad_item_shape(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(n_workers=1).map(_double, [("key-only",)])
+
+    def test_uses_multiple_processes(self):
+        res = ProcessExecutor(n_workers=4).map(
+            _read_init, [(f"k{i}", i, 1.0) for i in range(32)]
+        )
+        pids = {pid for (_, pid) in res.results.values()}
+        assert len(pids) > 1
+        assert os.getpid() not in pids
+
+    def test_large_arrays_roundtrip_through_shm(self):
+        rng = np.random.default_rng(3)
+        items = [
+            (f"k{i}", {"x": rng.normal(size=(128, 64))}, float(i))
+            for i in range(8)
+        ]
+        res = ProcessExecutor(n_workers=2).map(_double_array, items)
+        assert res.n_failed == 0
+        for key, payload, _ in items:
+            assert np.array_equal(res.results[key]["out"], payload["x"] * 2.0)
+
+    def test_task_exception_is_isolated(self):
+        res = ProcessExecutor(n_workers=2).map(
+            _boom, [("a", 1, 1.0)]
+        )
+        assert res.n_failed == 1
+        (record,) = res.records
+        assert not record.ok and "ValueError: bad payload 1" in record.error
+
+    def test_initializer_runs_in_every_worker(self):
+        res = ProcessExecutor(n_workers=3).map(
+            _read_init,
+            [(f"k{i}", i, 1.0) for i in range(24)],
+            initializer=_remember_init,
+            initargs=("sentinel-42",),
+        )
+        values = {v for (v, _pid) in res.results.values()}
+        assert values == {"sentinel-42"}
+
+
+class TestFaultTolerance:
+    def test_retry_recovers_with_highmem_escalation(self):
+        tasks = _tasks(30)
+        injector = FaultInjector(rate=0.3, seed=5)
+        ex = ProcessExecutor(n_workers=4, highmem_workers=1)
+        hm_ids = {w.worker_id for w in ex.workers if w.highmem}
+        res = ex.map(
+            _echo,
+            tasks,
+            failure_fn=injector,
+            retry_policy=RetryPolicy(max_attempts=3, backoff_seconds=0.0),
+        )
+        assert res.lost_keys() == []
+        injected = set(injector.injected_keys(tasks))
+        assert injected
+        for key in injected:
+            attempts = sorted(
+                (r for r in res.records if r.key == key),
+                key=lambda r: r.attempt,
+            )
+            assert attempts[-1].ok
+            if len(attempts) > 1:
+                assert attempts[-1].worker_id in hm_ids
+
+    def test_n_failed_counts_distinct_keys(self):
+        res = ProcessExecutor(n_workers=2).map(
+            _flaky_until_attempt_3,
+            _tasks(4),
+            pass_spec=True,
+            retry_policy=RetryPolicy(max_attempts=3, backoff_seconds=0.0),
+        )
+        # Every key failed twice then recovered: 12 records, 8 failed
+        # attempts, but n_failed counts keys.
+        assert len(res.records) == 12
+        assert sum(1 for r in res.records if not r.ok) == 8
+        assert res.n_failed == 4
+        assert res.lost_keys() == []
+
+    def test_highmem_gating(self):
+        tasks = _tasks(4, requires_highmem=True)
+        ex = ProcessExecutor(n_workers=3, highmem_workers=1)
+        hm_ids = {w.worker_id for w in ex.workers if w.highmem}
+        res = ex.map(_echo, tasks)
+        assert res.lost_keys() == []
+        assert {r.worker_id for r in res.records} <= hm_ids
+
+    def test_unschedulable_drain(self):
+        tasks = _tasks(2) + _tasks(2, prefix="hm", requires_highmem=True)
+        res = ProcessExecutor(n_workers=2, highmem_workers=0).map(
+            _echo, tasks
+        )
+        assert sorted(res.lost_keys()) == ["hm0", "hm1"]
+        drained = [r for r in res.records if not r.ok]
+        assert len(drained) == 2
+        assert all("NoEligibleWorker" in r.error for r in drained)
+
+    def test_deferred_backoff_does_not_park_slot(self):
+        # One worker; the injected key backs off ~0.5 s.  The other
+        # tasks must complete during that window, not after it.
+        def fail_once(task, worker):
+            if task.key == "slow" and task.attempt == 1:
+                return "RuntimeError: injected"
+            return None
+
+        tasks = [TaskSpec(key="slow", size_hint=9.0)] + _tasks(4)
+        t0 = time.perf_counter()
+        res = ProcessExecutor(n_workers=1).map(
+            _echo,
+            tasks,
+            failure_fn=fail_once,
+            retry_policy=RetryPolicy(
+                max_attempts=2, backoff_seconds=0.5, backoff_factor=1.0
+            ),
+        )
+        assert res.lost_keys() == []
+        retry = max(
+            (r for r in res.records if r.key == "slow"),
+            key=lambda r: r.attempt,
+        )
+        others_done = max(
+            r.end for r in res.records if r.key != "slow"
+        )
+        assert retry.ok and retry.attempt == 2
+        assert others_done < retry.start
+        assert time.perf_counter() - t0 < 5.0
+
+
+class TestWorkerLoss:
+    def test_killed_worker_task_is_requeued(self):
+        specs = [TaskSpec(key="victim", size_hint=10.0)] + _tasks(6)
+        res = ProcessExecutor(n_workers=2).map(
+            _suicide_on_first_attempt,
+            specs,
+            pass_spec=True,
+            retry_policy=RetryPolicy(max_attempts=3, backoff_seconds=0.0),
+        )
+        assert res.lost_keys() == []
+        victim = sorted(
+            (r for r in res.records if r.key == "victim"),
+            key=lambda r: r.attempt,
+        )
+        assert len(victim) == 2
+        assert not victim[0].ok and "WorkerLost" in victim[0].error
+        assert victim[1].ok
+        assert res.results["victim"] == "victim@2"
+
+    def test_worker_loss_counts_on_metrics(self):
+        with use_metrics(MetricsRegistry()) as registry:
+            ProcessExecutor(n_workers=2).map(
+                _suicide_on_first_attempt,
+                [TaskSpec(key="victim", size_hint=1.0)] + _tasks(2),
+                pass_spec=True,
+                retry_policy=RetryPolicy(max_attempts=2, backoff_seconds=0.0),
+            )
+            values = registry.counter_values()
+        assert values["dataflow.worker.lost"] == 1
+        assert values["dataflow.task.failures"] == 1
+        assert values["dataflow.task.retries"] == 1
+
+    def test_all_workers_dead_drains_loudly(self):
+        # Every task kills its worker; with the pool gone the leftovers
+        # must drain as failed records, not hang the parent.
+        res = ProcessExecutor(n_workers=2).map(
+            _always_suicide,
+            _tasks(6),
+            pass_spec=True,
+            retry_policy=RetryPolicy(max_attempts=2, backoff_seconds=0.0),
+        )
+        assert len(res.lost_keys()) == 6
+        assert all(not r.ok for r in res.records)
+        assert any("no live worker processes remain" in r.error for r in res.records)
+
+
+class TestParentSideBookkeeping:
+    def test_on_complete_runs_in_parent(self):
+        seen = []
+
+        def on_complete(record, value):
+            seen.append((record.key, record.ok, value, os.getpid()))
+
+        res = ProcessExecutor(n_workers=2).map(
+            _double, [(f"k{i}", i, 1.0) for i in range(6)],
+            on_complete=on_complete,
+        )
+        assert len(seen) == 6
+        assert {pid for (_, _, _, pid) in seen} == {os.getpid()}
+        assert {(k, v) for (k, _, v, _) in seen} == {
+            (f"k{i}", i * 2) for i in range(6)
+        }
+        assert res.n_failed == 0
+
+    def test_callback_errors_surface_after_drain(self):
+        def on_complete(record, value):
+            raise RuntimeError("ledger offline")
+
+        with pytest.raises(RuntimeError, match="on_complete callback failed"):
+            ProcessExecutor(n_workers=2).map(
+                _double, [("a", 1, 1.0), ("b", 2, 1.0)],
+                on_complete=on_complete,
+            )
+
+    def test_worker_metric_deltas_merge_into_parent(self):
+        with use_metrics(MetricsRegistry()) as registry:
+            ProcessExecutor(n_workers=2).map(
+                _count_and_echo, [(f"k{i}", i, 1.0) for i in range(10)]
+            )
+            values = registry.counter_values()
+        assert values["test.worker.widgets"] == 10
+
+    def test_task_spans_recorded_in_parent(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with tracer.span("stage", "unit", ambient=True) as stage:
+                ProcessExecutor(n_workers=2).map(
+                    _double, [(f"k{i}", i, 1.0) for i in range(4)]
+                )
+        task_spans = [s for s in tracer.spans if s.category == "task"]
+        assert len(task_spans) == 4
+        assert {s.name for s in task_spans} == {f"k{i}" for i in range(4)}
+        assert all(s.parent_id == stage.span_id for s in task_spans)
+        assert all(s.end is not None and s.end >= s.start for s in task_spans)
+        assert all(s.attrs["ok"] for s in task_spans)

@@ -1,0 +1,161 @@
+"""Shared-memory payload codec: roundtrips, thresholds, reclamation."""
+
+import dataclasses
+import glob
+from collections import namedtuple
+
+import numpy as np
+import pytest
+
+from repro.dataflow.shm import (
+    DEFAULT_MIN_SHM_BYTES,
+    EncodedPayload,
+    ShmRef,
+    decode_payload,
+    encode_payload,
+    unlink_segment,
+)
+
+
+def _live_segments() -> set[str]:
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+Point = namedtuple("Point", ["xyz", "label"])
+
+
+@dataclasses.dataclass
+class Inner:
+    arr: np.ndarray
+    tag: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Outer:
+    inner: Inner
+    weights: np.ndarray
+    scale: float
+
+
+class TestRoundtrip:
+    def test_large_array_moves_to_segment(self):
+        arr = np.arange(4096, dtype=np.float64)
+        enc = encode_payload({"x": arr})
+        assert enc.segment is not None
+        assert enc.nbytes == arr.nbytes
+        assert isinstance(enc.skeleton["x"], ShmRef)
+        out = decode_payload(enc)
+        assert np.array_equal(out["x"], arr)
+        assert out["x"].dtype == arr.dtype
+
+    def test_small_arrays_ride_skeleton(self):
+        arr = np.arange(4, dtype=np.int32)
+        enc = encode_payload({"x": arr})
+        assert enc.segment is None
+        assert decode_payload(enc)["x"] is arr
+
+    def test_non_encoded_payload_passes_through(self):
+        # A worker may receive a payload that never went through
+        # encode_payload (e.g. None for key-only tasks).
+        assert decode_payload(None) is None
+        assert decode_payload({"a": 1}) == {"a": 1}
+
+    def test_nested_containers(self):
+        before = _live_segments()
+        big = np.random.default_rng(0).normal(size=(64, 64))
+        obj = {
+            "list": [big, {"deep": big * 2}],
+            "tuple": (big + 1,),
+            "named": Point(xyz=big - 1, label="p"),
+            "scalar": 42,
+        }
+        out = decode_payload(encode_payload(obj))
+        assert np.array_equal(out["list"][0], big)
+        assert np.array_equal(out["list"][1]["deep"], big * 2)
+        assert np.array_equal(out["tuple"][0], big + 1)
+        assert isinstance(out["named"], Point)
+        assert np.array_equal(out["named"].xyz, big - 1)
+        assert out["scalar"] == 42
+        assert _live_segments() == before  # consumed -> unlinked
+
+    def test_dataclass_roundtrip(self):
+        big = np.full((100, 100), 3.5)
+        obj = Outer(inner=Inner(arr=big, tag="t"), weights=big * 2, scale=0.5)
+        enc = encode_payload(obj)
+        assert enc.segment is not None
+        out = decode_payload(enc)
+        assert isinstance(out, Outer) and isinstance(out.inner, Inner)
+        assert np.array_equal(out.inner.arr, big)
+        assert np.array_equal(out.weights, big * 2)
+        assert out.scale == 0.5 and out.inner.tag == "t"
+
+    def test_equal_arrays_get_distinct_slots(self):
+        # Two byte-identical arrays must decode independently — a
+        # placeholder collision would alias them to one offset.
+        big = np.ones(1024, dtype=np.float64)
+        enc = encode_payload([big, big.copy()])
+        refs = enc.skeleton
+        assert refs[0] != refs[1]
+        out = decode_payload(enc)
+        assert np.array_equal(out[0], big) and np.array_equal(out[1], big)
+        assert enc.nbytes == 2 * big.nbytes
+
+    def test_empty_and_zero_size_arrays(self):
+        obj = {"empty": np.empty(0), "big": np.zeros(2048)}
+        out = decode_payload(encode_payload(obj))
+        assert out["empty"].size == 0
+        assert np.array_equal(out["big"], np.zeros(2048))
+
+    def test_object_dtype_stays_inline(self):
+        arr = np.array([{"a": 1}] * 1000, dtype=object)
+        enc = encode_payload(arr)
+        assert enc.segment is None
+
+    def test_noncontiguous_array(self):
+        base = np.arange(10000, dtype=np.float64).reshape(100, 100)
+        view = base[::2, ::2]
+        assert not view.flags["C_CONTIGUOUS"]
+        out = decode_payload(encode_payload({"v": view}))
+        assert np.array_equal(out["v"], view)
+
+    def test_min_bytes_threshold(self):
+        arr = np.arange(64, dtype=np.float64)  # 512 bytes
+        assert encode_payload({"x": arr}).segment is None
+        assert encode_payload({"x": arr}, min_bytes=256).segment is not None
+        assert arr.nbytes < DEFAULT_MIN_SHM_BYTES
+
+
+class TestReclamation:
+    def test_unlink_segment_reclaims_orphan(self):
+        enc = encode_payload(np.zeros(4096))
+        assert enc.segment is not None
+        unlink_segment(enc.segment)
+        # Attaching now must fail — the segment is gone.
+        with pytest.raises(FileNotFoundError):
+            from multiprocessing import shared_memory
+
+            shared_memory.SharedMemory(name=enc.segment)
+
+    def test_unlink_segment_tolerates_missing(self):
+        unlink_segment(None)
+        unlink_segment("psm_does_not_exist_xyz")
+
+    def test_decode_after_orphan_cleanup_raises(self):
+        enc = encode_payload(np.zeros(4096))
+        unlink_segment(enc.segment)
+        with pytest.raises(FileNotFoundError):
+            decode_payload(enc)
+
+    def test_no_segment_leak_across_many_messages(self):
+        before = _live_segments()
+        for i in range(20):
+            decode_payload(encode_payload({"x": np.full(1024, float(i))}))
+        assert _live_segments() == before
+
+
+class TestEncodedPayload:
+    def test_plain_payload_wraps_verbatim(self):
+        enc = encode_payload([1, 2, 3])
+        assert isinstance(enc, EncodedPayload)
+        assert enc.segment is None and enc.nbytes == 0
+        assert enc.skeleton == [1, 2, 3]

@@ -1,0 +1,125 @@
+"""Cross-backend determinism: threaded and process campaigns agree.
+
+The executor backend is an operational choice, not a scientific one —
+the same campaign run on threads and on processes must produce
+bit-identical stage results, and a resumed process campaign must report
+the same simulated node-hours as the uninterrupted run (the paper's
+accounting cannot depend on where the workers lived or whether the
+job was restarted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ProteomePipeline
+from repro.fold import NativeFactory
+from repro.msa import build_suite
+from repro.runstate import RunState
+from repro.sequences import SequenceUniverse, synthetic_proteome
+
+
+def make_pipeline(**kwargs) -> ProteomePipeline:
+    return ProteomePipeline(
+        feature_nodes=4,
+        inference_nodes=2,
+        relax_nodes=1,
+        compute_workers=3,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def mini():
+    uni = SequenceUniverse(33)
+    prot = synthetic_proteome("P_mercurii", universe=uni, seed=33, scale=0.002)
+    suite = build_suite(uni, ["P_mercurii"], seed=33, scale=0.002)
+    return prot, suite, NativeFactory(uni)
+
+
+@pytest.fixture(scope="module")
+def threaded_run(mini):
+    prot, suite, factory = mini
+    return make_pipeline(executor_backend="threaded").run(prot, suite, factory)
+
+
+@pytest.fixture(scope="module")
+def process_run(mini):
+    prot, suite, factory = mini
+    return make_pipeline(executor_backend="process").run(prot, suite, factory)
+
+
+class TestBackendsAgree:
+    def test_feature_stage_bit_identical(self, threaded_run, process_run):
+        a = threaded_run.feature_stage.features
+        b = process_run.feature_stage.features
+        assert a.keys() == b.keys()
+        for rid in a:
+            assert a[rid].msa_depth == b[rid].msa_depth
+            assert a[rid].effective_depth == b[rid].effective_depth
+            assert a[rid].n_templates == b[rid].n_templates
+            assert (
+                a[rid].best_template_identity == b[rid].best_template_identity
+            )
+
+    def test_inference_stage_bit_identical(self, threaded_run, process_run):
+        a = threaded_run.inference_stage.top_models
+        b = process_run.inference_stage.top_models
+        assert a.keys() == b.keys()
+        for rid in a:
+            assert a[rid].model_name == b[rid].model_name
+            assert a[rid].ptms == b[rid].ptms
+            assert a[rid].mean_plddt == b[rid].mean_plddt
+            np.testing.assert_array_equal(a[rid].structure.ca, b[rid].structure.ca)
+
+    def test_relax_stage_bit_identical(self, threaded_run, process_run):
+        a = threaded_run.relax_stage.outcomes
+        b = process_run.relax_stage.outcomes
+        assert a.keys() == b.keys()
+        for rid in a:
+            np.testing.assert_array_equal(a[rid].structure.ca, b[rid].structure.ca)
+            assert a[rid].violations_after == b[rid].violations_after
+
+    def test_node_hours_identical(self, threaded_run, process_run):
+        assert (
+            threaded_run.total_node_hours == process_run.total_node_hours
+        )
+
+    def test_no_failures_either_backend(self, threaded_run, process_run):
+        for run in (threaded_run, process_run):
+            for stage in (run.feature_stage, run.relax_stage):
+                assert stage.execution is not None
+                assert stage.execution.n_failed == 0
+                assert stage.execution.lost_keys() == []
+
+
+class TestResumeInvariance:
+    def test_resumed_process_campaign_matches(
+        self, mini, process_run, tmp_path
+    ):
+        """A process campaign resumed over a complete ledger recomputes
+        nothing and reports the same results and node-hours."""
+        prot, suite, factory = mini
+
+        state = RunState(tmp_path / "state")
+        first = make_pipeline(
+            executor_backend="process", run_state=state
+        ).run(prot, suite, factory)
+        state.close()
+
+        state = RunState(tmp_path / "state")
+        assert state.resumed
+        second = make_pipeline(
+            executor_backend="process", run_state=state
+        ).run(prot, suite, factory)
+        state.close()
+
+        assert second.feature_stage.skipped_resume == len(prot)
+        assert second.total_node_hours == first.total_node_hours
+        assert second.total_node_hours == process_run.total_node_hours
+        for rid in first.inference_stage.top_models:
+            np.testing.assert_array_equal(
+                first.inference_stage.top_models[rid].structure.ca,
+                second.inference_stage.top_models[rid].structure.ca,
+            )

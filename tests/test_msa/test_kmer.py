@@ -110,6 +110,60 @@ class TestKmerIndex:
         junk = np.array([-7, 10**12, 0], dtype=np.int64)
         assert idx.count_hits_codes(junk).shape == (1,)
 
+    def test_empty_index_vocab_positions(self, rng):
+        # Regression: the searchsorted fallback used to clamp positions
+        # to ``size - 1 == -1`` on an empty vocabulary and fault on the
+        # gather.  An empty index has no LUT (k=6 would not either), so
+        # this hits the fallback directly.
+        idx = KmerIndex()
+        idx.freeze()
+        codes = np.array([0, 17, 10**9], dtype=np.int64)
+        pos, matched = idx._vocab_positions(codes)
+        assert pos.size == 0
+        assert matched.shape == (3,) and not matched.any()
+
+    def test_empty_index_public_surfaces(self, rng):
+        query = random_sequence(80, rng)
+        idx = KmerIndex()
+        idx.freeze()
+        assert idx.count_hits(query).shape == (0,)
+        assert idx.count_hits_many([query]).shape == (1, 0)
+        assert idx.jaccard(query).shape == (0,)
+        assert idx.containment(query).shape == (0,)
+
+    def test_pickle_roundtrip(self, rng):
+        import pickle
+
+        seqs = [random_sequence(100, rng) for _ in range(6)]
+        idx = self._build(seqs)
+        clone = pickle.loads(pickle.dumps(idx))
+        query = mutate_sequence(seqs[2], rng, 0.2)
+        assert (clone.count_hits(query) == idx.count_hits(query)).all()
+        assert (clone.containment(query) == idx.containment(query)).all()
+        # The dense LUT is derived state: dropped from the pickle,
+        # rebuilt on arrival.
+        assert (clone._lut is None) == (idx._lut is None)
+        if idx._lut is not None:
+            assert (clone._lut == idx._lut).all()
+
+    def test_pickle_freezes_pending_sequences(self, rng):
+        import pickle
+
+        seqs = [random_sequence(60, rng) for _ in range(3)]
+        idx = KmerIndex()
+        for i, s in enumerate(seqs):
+            idx.add(i, s)  # not frozen yet
+        clone = pickle.loads(pickle.dumps(idx))
+        assert clone.n_sequences == 3
+        assert clone.containment(seqs[1])[1] == pytest.approx(1.0)
+
+    def test_pickle_empty_index(self, rng):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(KmerIndex()))
+        assert clone.n_sequences == 0
+        assert clone.count_hits(random_sequence(40, rng)).shape == (0,)
+
     @given(rate=st.floats(0.0, 0.6), seed=st.integers(0, 50))
     @settings(max_examples=15, deadline=None)
     def test_containment_inverts_to_identity(self, rate, seed):
