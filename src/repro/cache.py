@@ -115,6 +115,13 @@ class FeatureCache:
         content hash once.  An earlier cache-side memo keyed by
         ``id(suite)`` silently inherited a dead suite's fingerprint
         whenever CPython reused the id — wrong key, wrong features.
+
+        Keys are *index-backend-invariant*: the fingerprint hashes the
+        library content plus the k-mer width, never the index
+        representation, so a campaign that attaches a memory-mapped
+        :class:`~repro.msa.diskindex.DiskKmerIndex` (``--index-dir``)
+        hits the same cache entries as one that builds CSR indexes
+        in-process — the two backends score bit-identically.
         """
         suite_fp = suite.fingerprint()
         h = hashlib.sha256()

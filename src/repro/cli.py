@@ -13,6 +13,9 @@ Five subcommands mirror how the paper's pipeline was actually driven:
 * ``repro relax``     — relax an existing (CA-trace) PDB file.
 * ``repro table1``    — a scaled-down regeneration of Table 1.
 * ``repro report``    — render a saved telemetry run directory.
+* ``repro index build`` — build the sharded, memory-mapped on-disk
+  k-mer index artifacts a campaign attaches with ``--index-dir``
+  (built once, shared read-only by every worker process).
 
 All commands are seeded and deterministic.
 """
@@ -75,6 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--compute-workers", type=int, default=0,
                    help="workers for the real compute (0 = auto: one per "
                         "core, capped at 8)")
+    c.add_argument("--index-dir", type=Path, default=None,
+                   help="directory of on-disk k-mer index artifacts (see "
+                        "`repro index build`); the feature stage attaches "
+                        "the memory-mapped shards instead of building an "
+                        "in-memory index per process — build with the same "
+                        "--species/--scale/--seed or the artifacts are "
+                        "rebuilt here")
     # Fault-injection hook for the kill/resume smoke test: SIGKILL this
     # process after N inference completions have been durably recorded.
     c.add_argument("--crash-after-inference-tasks", type=int, default=None,
@@ -94,6 +104,28 @@ def build_parser() -> argparse.ArgumentParser:
     v = sub.add_parser("report", help="render a saved telemetry run")
     v.add_argument("run_dir", type=Path,
                    help="directory holding manifest.json/trace.json/metrics.json")
+
+    ix = sub.add_parser("index", help="manage on-disk k-mer index artifacts")
+    ixsub = ix.add_subparsers(dest="index_command", required=True)
+    ib = ixsub.add_parser(
+        "build",
+        help="build sharded, memory-mapped index artifacts for a suite",
+        description="Builds one fingerprint-addressed artifact per library "
+        "of the (reduced) suite a campaign with the same "
+        "--species/--scale/--seed would search, so `repro campaign "
+        "--index-dir` attaches them instead of rebuilding.",
+    )
+    ib.add_argument("--species", default="D_vulgaris",
+                    choices=["P_mercurii", "R_rubrum", "D_vulgaris",
+                             "S_divinum"])
+    ib.add_argument("--scale", type=float, default=0.004)
+    ib.add_argument("--seed", type=int, default=0)
+    ib.add_argument("--shards", type=int, default=None,
+                    help="shard files per library (default: "
+                         "postings-balanced 4-way split)")
+    ib.add_argument("--out", type=Path, required=True,
+                    help="artifact root directory (the campaign's "
+                         "--index-dir)")
     return parser
 
 
@@ -224,6 +256,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         relax_nodes=args.relax_nodes,
         executor_backend=args.executor,
         compute_workers=args.compute_workers,
+        index_dir=args.index_dir,
         telemetry=session,
         run_state=state,
         task_observer=observer,
@@ -251,6 +284,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     if inf.oom_failures:
         print(f"failures : {len(inf.oom_failures)} OOM tasks")
+    if args.index_dir is not None:
+        from .msa.diskindex import DiskKmerIndex
+
+        attached = [
+            lib.index
+            for lib in suite.libraries
+            if isinstance(lib.index, DiskKmerIndex)
+        ]
+        print(
+            f"index    : {len(attached)} mmap artifact(s), "
+            f"{sum(d.nbytes for d in attached) / 1e6:.1f} MB shared "
+            f"read-only from {args.index_dir}"
+        )
     if state is not None:
         skipped = (fs.skipped_resume, inf.skipped_resume, rx.skipped_resume)
         if any(skipped):
@@ -314,6 +360,39 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index(args: argparse.Namespace) -> int:
+    import time
+
+    from .msa import build_suite
+    from .msa.diskindex import DEFAULT_SHARDS, ensure_disk_index
+    from .sequences import SequenceUniverse
+
+    universe = SequenceUniverse(args.seed)
+    suite = build_suite(
+        universe, [args.species], seed=args.seed, scale=args.scale
+    ).reduced()
+    n_shards = args.shards if args.shards is not None else DEFAULT_SHARDS
+    total_bytes = 0
+    for library in suite.libraries:
+        t0 = time.perf_counter()
+        disk = ensure_disk_index(library, args.out, n_shards=n_shards)
+        dt = time.perf_counter() - t0
+        total_bytes += disk.nbytes
+        print(
+            f"{library.name:>16}: {disk.n_sequences:6d} sequences, "
+            f"{disk.total_postings:9d} postings -> {disk.n_shards} shard(s), "
+            f"{disk.nbytes / 1e6:7.1f} MB in {dt:6.2f}s  "
+            f"[{disk.path.name}]"
+        )
+    print(
+        f"\n{len(suite.libraries)} artifacts, {total_bytes / 1e6:.1f} MB "
+        f"-> {args.out}\nrun campaigns with: repro campaign "
+        f"--species {args.species} --scale {args.scale} --seed {args.seed} "
+        f"--index-dir {args.out}"
+    )
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .telemetry import load_run, render_report
 
@@ -334,6 +413,7 @@ def main(argv: list[str] | None = None) -> int:
         "relax": _cmd_relax,
         "table1": _cmd_table1,
         "report": _cmd_report,
+        "index": _cmd_index,
     }
     return handlers[args.command](args)
 

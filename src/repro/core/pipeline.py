@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Any, Callable
 
 import numpy as np
@@ -46,6 +47,7 @@ from ..fold.memory import (
 from ..fold.model import Prediction, SurrogateFoldModel
 from ..iosim.replication import ReplicationPlan, paper_plan
 from ..msa.databases import LibrarySuite
+from ..msa.diskindex import attach_suite_index
 from ..msa.features import FeatureBundle, FeatureGenConfig
 from ..relax.batch import relax_many
 from ..relax.protocols import RelaxOutcome
@@ -263,6 +265,15 @@ class ProteomePipeline:
     #: callback and the task observer are identical on both: callbacks
     #: always run in this (the coordinating) process.
     executor_backend: str = "threaded"
+    #: Directory of sharded, memory-mapped k-mer index artifacts
+    #: (``repro index build`` / :func:`repro.msa.diskindex.build_disk_index`).
+    #: When set, the feature stage attaches every suite library to its
+    #: on-disk index before dispatch: the artifact is opened (built
+    #: first if absent, quarantined + rebuilt if corrupt) and workers
+    #: share the memory-mapped postings through the page cache instead
+    #: of rebuilding a CSR index per process (``msa.index.rebuild``
+    #: stays zero when the artifact was prebuilt).
+    index_dir: str | Path | None = None
     #: Optional content-addressed cache for the feature stage.
     feature_cache: FeatureCache | None = None
     #: Optional telemetry session.  When set, :meth:`run` activates its
@@ -397,6 +408,12 @@ class ProteomePipeline:
                 "n_nodes": self.feature_nodes,
             },
         ) as span:
+            if self.index_dir is not None:
+                # Swap every library onto its memory-mapped disk-index
+                # artifact before any worker starts (or forks): workers
+                # then share one page-cache copy of the postings and
+                # never rebuild a CSR index per process.
+                attach_suite_index(suite, self.index_dir)
             restored = self._restore_completed(
                 "feature", [t.key for t in tasks]
             )

@@ -21,6 +21,16 @@ inherited copy-on-write rather than pickled; under ``spawn`` they
 travel by pickle — which is why :class:`~repro.msa.kmer.KmerIndex`
 ships its frozen CSR arrays but not its derived lookup table, and
 :class:`~repro.cache.FeatureCache` reduces to its directory path.
+
+With a pipeline ``index_dir``, the suite that reaches the initializer
+already carries :class:`~repro.msa.diskindex.DiskKmerIndex` instances:
+forked workers inherit the read-only mappings copy-on-write and
+spawned workers re-attach by manifest path (its ``__getstate__`` ships
+no postings), so no worker ever rebuilds — or even receives — a CSR
+index.  Without one, the index builds lazily inside the first feature
+task a process runs, so the per-process build cost is visible in that
+task's merged ``msa.index.rebuild`` counter delta rather than hidden
+in initializer time.
 """
 
 from __future__ import annotations

@@ -1,7 +1,15 @@
 """Parallel-filesystem contention and library-replication models."""
 
 from .filesystem import FilesystemSpec, contention_factor
-from .replication import ReplicationPlan, dcp_copy_seconds, paper_plan
+from .replication import (
+    INDEX_REPLICA_FS,
+    IndexReplicaSet,
+    ReplicationPlan,
+    dcp_copy_seconds,
+    paper_plan,
+    searches_per_replica_sweep,
+    sweet_spot_jobs_per_replica,
+)
 
 __all__ = [
     "FilesystemSpec",
@@ -9,4 +17,8 @@ __all__ = [
     "ReplicationPlan",
     "dcp_copy_seconds",
     "paper_plan",
+    "INDEX_REPLICA_FS",
+    "IndexReplicaSet",
+    "searches_per_replica_sweep",
+    "sweet_spot_jobs_per_replica",
 ]

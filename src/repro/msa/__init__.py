@@ -8,9 +8,21 @@ from .databases import (
     build_library,
     build_suite,
 )
+from .diskindex import (
+    DiskKmerIndex,
+    attach_suite_index,
+    build_disk_index,
+    ensure_disk_index,
+)
 from .features import FeatureBundle, FeatureGenConfig, generate_features
-from .kmer import KmerIndex, kmer_codes
-from .search import Hit, SearchResult, search_library, search_suite
+from .kmer import KmerIndex, KmerQueryAPI, batched_query_codes, kmer_codes
+from .search import (
+    Hit,
+    QueryCodeMemo,
+    SearchResult,
+    search_library,
+    search_suite,
+)
 
 __all__ = [
     "SequenceAlignment",
@@ -25,8 +37,15 @@ __all__ = [
     "FeatureGenConfig",
     "generate_features",
     "KmerIndex",
+    "KmerQueryAPI",
     "kmer_codes",
+    "batched_query_codes",
+    "DiskKmerIndex",
+    "build_disk_index",
+    "ensure_disk_index",
+    "attach_suite_index",
     "Hit",
+    "QueryCodeMemo",
     "SearchResult",
     "search_library",
     "search_suite",

@@ -28,7 +28,7 @@ from ..sequences.generator import (
     stable_hash,
 )
 from ..sequences.proteome import SPECIES, species_family_base
-from .kmer import KmerIndex
+from .kmer import DEFAULT_K, KmerIndex, KmerQueryAPI
 
 __all__ = [
     "LibraryEntry",
@@ -82,15 +82,20 @@ class SequenceLibrary:
         #: Number of distinct file reads one search issues against this
         #: library (HHblits-style many-small-reads; drives metadata load).
         self.files_per_search = int(files_per_search)
-        self._index: KmerIndex | None = None
+        self._index: KmerQueryAPI | None = None
         self._fingerprint: str | None = None
 
     def __len__(self) -> int:
         return len(self.entries)
 
     @property
-    def index(self) -> KmerIndex:
-        """Lazily built k-mer index over all entries."""
+    def index(self) -> KmerQueryAPI:
+        """The k-mer index over all entries.
+
+        Lazily builds an in-memory :class:`KmerIndex` unless a prebuilt
+        (e.g. memory-mapped on-disk) index was installed with
+        :meth:`attach_index` first.
+        """
         if self._index is None:
             idx = KmerIndex()
             for i, entry in enumerate(self.entries):
@@ -98,6 +103,28 @@ class SequenceLibrary:
             idx.freeze()
             self._index = idx
         return self._index
+
+    def attach_index(self, index: KmerQueryAPI) -> None:
+        """Install a prebuilt index (typically a
+        :class:`~repro.msa.diskindex.DiskKmerIndex` over memory-mapped
+        shard artifacts) instead of building one in memory.
+
+        The index must cover exactly this library: sequence counts must
+        agree, and an index that knows the fingerprint of the library it
+        was built from (disk artifacts do) must match this library's.
+        """
+        if index.n_sequences != len(self.entries):
+            raise ValueError(
+                f"index covers {index.n_sequences} sequences, library "
+                f"{self.name!r} has {len(self.entries)}"
+            )
+        index_fp = getattr(index, "fingerprint", None)
+        if isinstance(index_fp, str) and index_fp != self.fingerprint():
+            raise ValueError(
+                f"index fingerprint {index_fp[:12]} does not match "
+                f"library {self.name!r} ({self.fingerprint()[:12]})"
+            )
+        self._index = index
 
     def fingerprint(self) -> str:
         """Content hash of everything a search outcome depends on.
@@ -109,12 +136,19 @@ class SequenceLibrary:
         to the library yields a different fingerprint and therefore a
         cache miss.  Libraries are treated as immutable once built; the
         hash is computed once and memoised.
+
+        Hashes the *default* k rather than touching :attr:`index` — the
+        fingerprint addresses the on-disk index artifact, so computing
+        it must not itself force an in-memory index build (the exact
+        cost the disk index exists to avoid).  The hash string is
+        byte-identical to what ``self.index.k`` produced, so existing
+        cache keys are unchanged.
         """
         if self._fingerprint is None:
             h = hashlib.sha256()
             h.update(
                 f"{self.name}|{self.modeled_bytes}|{self.files_per_search}"
-                f"|k={self.index.k}".encode()
+                f"|k={DEFAULT_K}".encode()
             )
             for entry in self.entries:
                 h.update(

@@ -19,8 +19,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..sequences.alphabet import ALPHABET_SIZE
+from ..telemetry.metrics import get_metrics
 
-__all__ = ["kmer_codes", "KmerIndex"]
+__all__ = ["kmer_codes", "batched_query_codes", "KmerQueryAPI", "KmerIndex"]
 
 #: Default k-mer length.  20^5 = 3.2M possible 5-mers: the shared-k-mer
 #: *containment* of unrelated sequences is then ~1e-4 while homologs at
@@ -55,7 +56,102 @@ def kmer_codes(encoded: np.ndarray, k: int = DEFAULT_K) -> np.ndarray:
     return codes
 
 
-class KmerIndex:
+def batched_query_codes(
+    queries: list[np.ndarray], k: int, precomputed_codes: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deduplicated ``(codes, query_of_code)`` for a query batch.
+
+    ``queries`` holds encoded sequences (default) or, with
+    ``precomputed_codes=True``, per-query *distinct* code arrays.  For
+    encoded inputs the per-query dedup collapses into one sort over
+    ``query_id * span + code`` tags — the trick that makes the batched
+    query path fast.  Shared by the in-memory :class:`KmerIndex` and the
+    sharded :class:`~repro.msa.diskindex.DiskKmerIndex` so both produce
+    byte-identical batched counts.
+    """
+    n_q = len(queries)
+    if precomputed_codes:
+        code_sets = [np.asarray(q, dtype=np.int64) for q in queries]
+        all_codes = (
+            np.concatenate(code_sets)
+            if code_sets
+            else np.empty(0, dtype=np.int64)
+        )
+        query_of_code = np.repeat(
+            np.arange(n_q, dtype=np.int64),
+            [c.size for c in code_sets],
+        )
+        return all_codes, query_of_code
+    # Tag every raw code with its query id in the high digits; one
+    # global sort + dedup then replaces a per-query ``np.unique`` loop.
+    span = np.int64(ALPHABET_SIZE) ** k
+    raw = [kmer_codes(q, k) for q in queries]
+    tags = np.repeat(
+        np.arange(n_q, dtype=np.int64) * span,
+        [r.size for r in raw],
+    )
+    tagged = (
+        np.concatenate(raw) + tags if raw else np.empty(0, dtype=np.int64)
+    )
+    tagged.sort()
+    if tagged.size:
+        keep = np.empty(tagged.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(tagged[1:], tagged[:-1], out=keep[1:])
+        tagged = tagged[keep]
+    query_of_code = tagged // span
+    return tagged - query_of_code * span, query_of_code
+
+
+class KmerQueryAPI:
+    """Shared query surface over a frozen k-mer postings layout.
+
+    Concrete indexes (:class:`KmerIndex` in memory,
+    :class:`~repro.msa.diskindex.DiskKmerIndex` on disk) provide ``k``,
+    ``n_sequences``, ``kmer_counts`` and :meth:`count_hits_codes`; the
+    derived similarity measures live here once so both backends score
+    identically by construction.
+    """
+
+    k: int
+
+    def query_codes(self, encoded: np.ndarray) -> np.ndarray:
+        """Distinct k-mer codes of a query, as :meth:`count_hits` uses them."""
+        return np.unique(kmer_codes(encoded, self.k))
+
+    def count_hits(self, encoded: np.ndarray) -> np.ndarray:
+        """Distinct shared k-mer types between query and every sequence.
+
+        Returns an int64 array of length ``n_sequences``.
+        """
+        return self.count_hits_codes(self.query_codes(encoded))
+
+    def count_hits_codes(self, codes: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def jaccard(self, encoded: np.ndarray) -> np.ndarray:
+        """K-mer Jaccard similarity of the query against every sequence."""
+        codes = self.query_codes(encoded)
+        hits = self.count_hits_codes(codes)
+        union = int(codes.size) + self.kmer_counts - hits
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sim = np.where(union > 0, hits / union, 0.0)
+        return sim
+
+    def containment(self, encoded: np.ndarray) -> np.ndarray:
+        """Shared k-mer types / query k-mer types, per library sequence.
+
+        Under independent substitutions at identity ``p``, a k-mer
+        survives in a homolog with probability ~``p**k``, so containment
+        inverts cleanly to an identity estimate; unlike Jaccard it is not
+        diluted by the library sequence being longer than the query.
+        """
+        codes = self.query_codes(encoded)
+        query_kmers = max(1, int(codes.size))
+        return self.count_hits_codes(codes) / float(query_kmers)
+
+
+class KmerIndex(KmerQueryAPI):
     """Inverted index: k-mer code -> array of sequence ids containing it.
 
     Build once per library; query with :meth:`count_hits`, which returns
@@ -97,6 +193,11 @@ class KmerIndex:
         """Build the CSR postings; no further additions allowed."""
         if self._codes is not None:
             return
+        # Every CSR construction is a paid-for build; the disk-index
+        # smoke asserts this stays at zero inside a campaign that
+        # attaches a prebuilt artifact instead (workers included —
+        # worker counter deltas merge back into the parent registry).
+        get_metrics().counter("msa.index.rebuild").inc()
         if self._pending:
             all_codes = np.concatenate(self._pending)
             ids = np.repeat(
@@ -189,17 +290,6 @@ class KmerIndex:
         assert self._counts_f64 is not None
         return self._counts_f64
 
-    def query_codes(self, encoded: np.ndarray) -> np.ndarray:
-        """Distinct k-mer codes of a query, as :meth:`count_hits` uses them."""
-        return np.unique(kmer_codes(encoded, self.k))
-
-    def count_hits(self, encoded: np.ndarray) -> np.ndarray:
-        """Distinct shared k-mer types between query and every sequence.
-
-        Returns an int64 array of length :attr:`n_sequences`.
-        """
-        return self.count_hits_codes(self.query_codes(encoded))
-
     def count_hits_codes(self, codes: np.ndarray) -> np.ndarray:
         """:meth:`count_hits` for a precomputed *distinct* code array.
 
@@ -235,32 +325,9 @@ class KmerIndex:
         n_q = len(queries)
         if n_q == 0:
             return np.zeros((0, n_seq), dtype=np.int64)
-        if precomputed_codes:
-            code_sets = [np.asarray(q, dtype=np.int64) for q in queries]
-            all_codes = np.concatenate(code_sets)
-            query_of_code = np.repeat(
-                np.arange(n_q, dtype=np.int64),
-                [c.size for c in code_sets],
-            )
-        else:
-            # Tag every raw code with its query id in the high digits;
-            # one global sort + dedup then replaces a per-query
-            # ``np.unique`` loop.
-            span = np.int64(ALPHABET_SIZE) ** self.k
-            raw = [kmer_codes(q, self.k) for q in queries]
-            tags = np.repeat(
-                np.arange(n_q, dtype=np.int64) * span,
-                [r.size for r in raw],
-            )
-            tagged = np.concatenate(raw) + tags
-            tagged.sort()
-            if tagged.size:
-                keep = np.empty(tagged.size, dtype=bool)
-                keep[0] = True
-                np.not_equal(tagged[1:], tagged[:-1], out=keep[1:])
-                tagged = tagged[keep]
-            query_of_code = tagged // span
-            all_codes = tagged - query_of_code * span
+        all_codes, query_of_code = batched_query_codes(
+            queries, self.k, precomputed_codes=precomputed_codes
+        )
         if all_codes.size == 0 or self._codes.size == 0 or n_seq == 0:
             return np.zeros((n_q, n_seq), dtype=np.int64)
         pos, matched = self._vocab_positions(all_codes)
@@ -291,27 +358,6 @@ class KmerIndex:
         if total == 0:
             return np.empty(0, dtype=np.int32)
         return self._ids[_expand_ranges(starts, lengths, total)]
-
-    def jaccard(self, encoded: np.ndarray) -> np.ndarray:
-        """K-mer Jaccard similarity of the query against every sequence."""
-        codes = self.query_codes(encoded)
-        hits = self.count_hits_codes(codes)
-        union = int(codes.size) + self.kmer_counts - hits
-        with np.errstate(divide="ignore", invalid="ignore"):
-            sim = np.where(union > 0, hits / union, 0.0)
-        return sim
-
-    def containment(self, encoded: np.ndarray) -> np.ndarray:
-        """Shared k-mer types / query k-mer types, per library sequence.
-
-        Under independent substitutions at identity ``p``, a k-mer
-        survives in a homolog with probability ~``p**k``, so containment
-        inverts cleanly to an identity estimate; unlike Jaccard it is not
-        diluted by the library sequence being longer than the query.
-        """
-        codes = self.query_codes(encoded)
-        query_kmers = max(1, int(codes.size))
-        return self.count_hits_codes(codes) / float(query_kmers)
 
 
 def _expand_ranges(

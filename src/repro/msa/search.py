@@ -19,7 +19,38 @@ from .align import global_align
 from .databases import LibraryEntry, LibrarySuite, SequenceLibrary
 from .kmer import DEFAULT_K, kmer_codes
 
-__all__ = ["Hit", "SearchResult", "search_library", "search_suite"]
+__all__ = [
+    "Hit",
+    "SearchResult",
+    "QueryCodeMemo",
+    "search_library",
+    "search_suite",
+]
+
+
+class QueryCodeMemo:
+    """Per-query memo of distinct k-mer codes, keyed by k.
+
+    ``search_suite`` screens one query against N libraries; extracting
+    the query's distinct codes is the same work for every library at
+    the same k, so the suite does it once per *distinct* k instead of
+    once per library.  ``n_extractions`` counts the actual
+    ``kmer_codes`` + ``unique`` passes (pinned by a regression test:
+    a four-library suite at one k performs exactly one).
+    """
+
+    def __init__(self, encoded: np.ndarray) -> None:
+        self._encoded = encoded
+        self._by_k: dict[int, np.ndarray] = {}
+        self.n_extractions = 0
+
+    def codes_for(self, k: int) -> np.ndarray:
+        codes = self._by_k.get(k)
+        if codes is None:
+            self.n_extractions += 1
+            codes = np.unique(kmer_codes(self._encoded, k))
+            self._by_k[k] = codes
+        return codes
 
 
 @dataclass(frozen=True)
@@ -173,19 +204,11 @@ def search_suite(
     if record.length < 6:
         raise ValueError("query too short for k-mer search")
     result = SearchResult(query_id=record.record_id)
-    # Extract the query's distinct k-mer codes once per k value; every
-    # library at that k reuses the same array (the seed recomputed the
-    # unique() five times per query: once here plus once per library).
-    codes_by_k: dict[int, np.ndarray] = {}
-
-    def codes_for(k: int) -> np.ndarray:
-        codes = codes_by_k.get(k)
-        if codes is None:
-            codes = np.unique(kmer_codes(record.encoded, k))
-            codes_by_k[k] = codes
-        return codes
-
-    n_query_kmers = max(1, codes_for(DEFAULT_K).size)
+    # One QueryCodeMemo per query: every library at the same k reuses
+    # the same distinct-code array (the seed recomputed the unique()
+    # five times per query: once here plus once per library).
+    memo = QueryCodeMemo(record.encoded)
+    n_query_kmers = max(1, memo.codes_for(DEFAULT_K).size)
     for library in suite.libraries:
         hits, scanned = search_library(
             record.encoded,
@@ -193,7 +216,7 @@ def search_suite(
             min_containment=min_containment,
             max_hits=max_hits_per_library,
             verify_top=verify_top,
-            query_codes=codes_for(library.index.k),
+            query_codes=memo.codes_for(library.index.k),
         )
         result.hits.extend(hits)
         # I/O model: every search touches the library's file set once,

@@ -10,6 +10,7 @@ import pytest
 from repro.dataflow.shm import (
     DEFAULT_MIN_SHM_BYTES,
     EncodedPayload,
+    MmapRef,
     ShmRef,
     decode_payload,
     encode_payload,
@@ -123,6 +124,94 @@ class TestRoundtrip:
         assert encode_payload({"x": arr}).segment is None
         assert encode_payload({"x": arr}, min_bytes=256).segment is not None
         assert arr.nbytes < DEFAULT_MIN_SHM_BYTES
+
+
+class TestFileBackedArrays:
+    def _memmap(self, tmp_path, shape=(256, 64), name="a.npy"):
+        file = tmp_path / name
+        np.save(file, np.arange(np.prod(shape), dtype=np.float64).reshape(shape))
+        return np.load(file, mmap_mode="r")
+
+    def test_readonly_plain_array_roundtrips(self):
+        # Regression: a non-writable ndarray must neither crash the
+        # encoder nor lose its contents — it copies into the segment
+        # like any other array.
+        arr = np.arange(4096, dtype=np.float64)
+        arr.setflags(write=False)
+        enc = encode_payload({"x": arr})
+        assert enc.segment is not None
+        out = decode_payload(enc)
+        assert np.array_equal(out["x"], arr)
+
+    def test_memmap_never_copies(self, tmp_path):
+        # File-backed arrays travel as MmapRef placeholders: no shm
+        # segment, no bytes duplicated — the receiver re-maps the file.
+        mm = self._memmap(tmp_path)
+        enc = encode_payload({"x": mm})
+        assert enc.segment is None and enc.nbytes == 0
+        assert enc.has_file_refs
+        assert isinstance(enc.skeleton["x"], MmapRef)
+        out = decode_payload(enc)
+        assert isinstance(out["x"], np.memmap)
+        assert not out["x"].flags["WRITEABLE"]
+        assert np.array_equal(out["x"], mm)
+
+    def test_memmap_below_shm_threshold_still_file_ref(self, tmp_path):
+        mm = self._memmap(tmp_path, shape=(4,), name="tiny.npy")
+        assert mm.nbytes < DEFAULT_MIN_SHM_BYTES
+        enc = encode_payload({"x": mm})
+        assert enc.segment is None and enc.has_file_refs
+        assert np.array_equal(decode_payload(enc)["x"], mm)
+
+    def test_memmap_view_effective_offset(self, tmp_path):
+        # A contiguous view inherits the ROOT's .offset/.filename; the
+        # ref must carry the view's displacement into the file, or the
+        # receiver maps the wrong bytes.
+        mm = self._memmap(tmp_path)
+        view = mm[100:200]
+        assert view.flags["C_CONTIGUOUS"]
+        enc = encode_payload({"v": view})
+        ref = enc.skeleton["v"]
+        assert isinstance(ref, MmapRef)
+        assert ref.offset > mm.offset  # displaced past the npy header
+        out = decode_payload(enc)
+        assert np.array_equal(out["v"], view)
+
+    def test_strided_memmap_view_falls_back_to_copy(self, tmp_path):
+        mm = self._memmap(tmp_path)
+        view = mm[::2, ::2]
+        assert not view.flags["C_CONTIGUOUS"]
+        enc = encode_payload({"v": view})
+        assert not enc.has_file_refs
+        assert np.array_equal(decode_payload(enc)["v"], view)
+
+    def test_mixed_payload(self, tmp_path):
+        # Memmaps ride as file refs while big plain arrays still move
+        # through the segment, in the same message.
+        mm = self._memmap(tmp_path)
+        big = np.random.default_rng(3).normal(size=(50, 100))
+        enc = encode_payload({"mm": mm, "big": big, "n": 7})
+        assert enc.segment is not None
+        assert enc.nbytes == big.nbytes
+        assert enc.has_file_refs
+        assert isinstance(enc.skeleton["mm"], MmapRef)
+        out = decode_payload(enc)
+        assert np.array_equal(out["mm"], mm)
+        assert np.array_equal(out["big"], big)
+        assert out["n"] == 7
+
+    def test_memmap_survives_pipe_pickle(self, tmp_path):
+        # The skeleton (with MmapRefs inside) is what actually crosses
+        # the pipe — it must pickle small and decode on the other side.
+        import pickle
+
+        mm = self._memmap(tmp_path)
+        enc = encode_payload([mm, {"nested": mm[10:20]}])
+        blob = pickle.dumps(enc)
+        assert len(blob) < 1024  # refs only, no array bytes
+        out = decode_payload(pickle.loads(blob))
+        assert np.array_equal(out[0], mm)
+        assert np.array_equal(out[1]["nested"], mm[10:20])
 
 
 class TestReclamation:

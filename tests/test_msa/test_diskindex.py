@@ -1,0 +1,361 @@
+"""Sharded on-disk k-mer index: bit-identity, pickling, quarantine."""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.msa import (
+    DiskKmerIndex,
+    KmerIndex,
+    attach_suite_index,
+    build_disk_index,
+    ensure_disk_index,
+)
+from repro.msa.diskindex import (
+    DEFAULT_SHARDS,
+    IndexCorruptError,
+    shard_boundaries,
+)
+from repro.sequences import mutate_sequence, random_sequence
+from repro.sequences.alphabet import ALPHABET_SIZE
+from repro.telemetry.metrics import MetricsRegistry, use_metrics
+
+
+def _build_mem(seqs, k=5):
+    idx = KmerIndex(k=k)
+    for i, s in enumerate(seqs):
+        idx.add(i, s)
+    idx.freeze()
+    return idx
+
+
+def _build_disk(tmp_path, seqs, k=5, n_shards=DEFAULT_SHARDS, name="lib"):
+    mem = _build_mem(seqs, k=k)
+    out = build_disk_index(
+        mem,
+        tmp_path / f"{name}.artifact",
+        library_name=name,
+        fingerprint="f" * 64,
+        n_shards=n_shards,
+    )
+    return mem, DiskKmerIndex.open(out)
+
+
+class TestShardBoundaries:
+    def test_shape_and_monotonicity(self, rng):
+        idx = _build_mem([random_sequence(200, rng) for _ in range(10)])
+        for n in (1, 2, 4, 7):
+            b = shard_boundaries(idx, n)
+            assert b.size == n + 1
+            assert b[0] == 0 and b[-1] == ALPHABET_SIZE**idx.k
+            assert (np.diff(b) > 0).all()
+
+    def test_empty_vocabulary_falls_back_to_even_grid(self):
+        idx = KmerIndex()
+        idx.freeze()
+        b = shard_boundaries(idx, 4)
+        assert b.size == 5
+        assert (np.diff(b) > 0).all()
+
+    def test_more_shards_than_span_clamps(self):
+        idx = KmerIndex(k=1)
+        idx.freeze()
+        b = shard_boundaries(idx, 10_000)
+        assert b.size <= ALPHABET_SIZE + 1
+
+
+class TestBitIdentity:
+    def test_matches_memory_index(self, rng, tmp_path):
+        seqs = [random_sequence(int(rng.integers(30, 200)), rng) for _ in range(20)]
+        mem, disk = _build_disk(tmp_path, seqs)
+        queries = [mutate_sequence(seqs[i % 20], rng, 0.2) for i in range(8)]
+        queries.append(random_sequence(150, rng))
+        assert (disk.count_hits_many(queries) == mem.count_hits_many(queries)).all()
+        q = queries[0]
+        assert (disk.count_hits(q) == mem.count_hits(q)).all()
+        assert (disk.jaccard(q) == mem.jaccard(q)).all()
+        assert (disk.containment(q) == mem.containment(q)).all()
+
+    def test_shard_edge_codes(self, rng, tmp_path):
+        # Synthetic code batches sitting exactly on every boundary value
+        # (and one before/after each): routing must place each code in
+        # exactly one shard, so counts still match the monolith.
+        seqs = [random_sequence(120, rng) for _ in range(8)]
+        mem, disk = _build_disk(tmp_path, seqs, n_shards=5)
+        edges = disk.boundaries
+        probe = np.unique(
+            np.clip(
+                np.concatenate([edges - 1, edges, edges + 1]),
+                0,
+                int(edges[-1]) - 1,
+            )
+        )
+        assert (disk.count_hits_codes(probe) == mem.count_hits_codes(probe)).all()
+
+    def test_empty_shards(self, rng, tmp_path):
+        # One short sequence yields a tiny, concentrated vocabulary; the
+        # even-grid fallback then produces shards that own no codes.
+        seqs = [random_sequence(12, rng)]
+        mem, disk = _build_disk(tmp_path, seqs, n_shards=8)
+        assert any(s.codes.size == 0 for s in disk._shards)
+        q = random_sequence(80, rng)
+        assert (disk.count_hits(q) == mem.count_hits(q)).all()
+        assert (disk.count_hits(seqs[0]) == mem.count_hits(seqs[0])).all()
+
+    def test_empty_vocabulary_index(self, rng, tmp_path):
+        # All sequences shorter than k: no k-mers anywhere.
+        seqs = [random_sequence(3, rng) for _ in range(4)]
+        mem, disk = _build_disk(tmp_path, seqs)
+        q = random_sequence(60, rng)
+        assert (disk.count_hits(q) == 0).all()
+        assert (disk.count_hits(q) == mem.count_hits(q)).all()
+        assert disk.count_hits_many([q, q]).shape == (2, 4)
+
+    def test_zero_sequence_index(self, rng, tmp_path):
+        mem, disk = _build_disk(tmp_path, [])
+        q = random_sequence(60, rng)
+        assert disk.count_hits(q).shape == (0,)
+        assert disk.count_hits_many([q]).shape == (1, 0)
+
+    def test_k6_searchsorted_fallback(self, rng, tmp_path):
+        # k=6 span exceeds _LUT_MAX_SPAN: shards carry no LUT and route
+        # through the binary-search path.
+        seqs = [random_sequence(100, rng) for _ in range(6)]
+        mem, disk = _build_disk(tmp_path, seqs, k=6)
+        assert all(s.lut is None for s in disk._shards)
+        queries = [mutate_sequence(seqs[i], rng, 0.3) for i in range(6)]
+        assert (disk.count_hits_many(queries) == mem.count_hits_many(queries)).all()
+
+    @given(
+        seed=st.integers(0, 10_000),
+        n_seqs=st.integers(0, 10),
+        n_shards=st.integers(1, 9),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_libraries_and_shard_counts(
+        self, seed, n_seqs, n_shards, tmp_path_factory
+    ):
+        # The acceptance property: for random libraries and shard
+        # counts, the sharded mmap index reproduces the in-memory CSR
+        # results bit-for-bit.  k=3 keeps artifact builds fast.
+        rng = np.random.default_rng(seed)
+        tmp = tmp_path_factory.mktemp("prop")
+        seqs = [
+            random_sequence(int(rng.integers(2, 80)), rng)
+            for _ in range(n_seqs)
+        ]
+        mem, disk = _build_disk(
+            tmp, seqs, k=3, n_shards=n_shards, name=f"lib{seed}"
+        )
+        queries = [
+            mutate_sequence(seqs[int(rng.integers(0, n_seqs))], rng, 0.3)
+            if n_seqs
+            else random_sequence(40, rng),
+            random_sequence(int(rng.integers(2, 80)), rng),
+        ]
+        assert (
+            disk.count_hits_many(queries) == mem.count_hits_many(queries)
+        ).all()
+
+
+class TestPickle:
+    def test_ships_path_not_postings(self, rng, tmp_path):
+        seqs = [random_sequence(300, rng) for _ in range(40)]
+        _, disk = _build_disk(tmp_path, seqs)
+        blob = pickle.dumps(disk)
+        # The payload is a manifest path, so it must be orders of
+        # magnitude smaller than the artifact it re-attaches to.
+        assert len(blob) < 512
+        assert disk.nbytes > 10 * len(blob)
+
+    def test_roundtrip_reattaches_and_matches(self, rng, tmp_path):
+        seqs = [random_sequence(100, rng) for _ in range(10)]
+        _, disk = _build_disk(tmp_path, seqs)
+        with use_metrics(MetricsRegistry()) as registry:
+            clone = pickle.loads(pickle.dumps(disk))
+            assert registry.counter_values()["msa.index.attach"] == 1.0
+            assert registry.counter_values().get("msa.index.rebuild", 0) == 0
+        q = mutate_sequence(seqs[3], rng, 0.2)
+        assert (clone.count_hits(q) == disk.count_hits(q)).all()
+        assert clone.path == disk.path
+        assert clone.fingerprint == disk.fingerprint
+
+
+class TestArtifactLifecycle:
+    def test_build_refuses_existing_dir(self, rng, tmp_path):
+        seqs = [random_sequence(50, rng)]
+        mem = _build_mem(seqs)
+        out = tmp_path / "a"
+        build_disk_index(mem, out, library_name="a", fingerprint="x" * 64)
+        with pytest.raises(FileExistsError):
+            build_disk_index(mem, out, library_name="a", fingerprint="x" * 64)
+
+    def test_open_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "manifest.json").write_text('{"schema": "nope/9"}')
+        with pytest.raises(IndexCorruptError):
+            DiskKmerIndex.open(bad)
+
+    def test_verify_catches_flipped_bytes(self, rng, tmp_path):
+        seqs = [random_sequence(100, rng) for _ in range(5)]
+        _, disk = _build_disk(tmp_path, seqs)
+        ids_file = next(disk.path.glob("shard*.ids.npy"))
+        raw = bytearray(ids_file.read_bytes())
+        raw[-1] ^= 0xFF
+        ids_file.write_bytes(bytes(raw))
+        with pytest.raises(IndexCorruptError):
+            DiskKmerIndex.open(disk.path, verify=True)
+        # Structural open alone does not hash, so it still succeeds.
+        DiskKmerIndex.open(disk.path, verify=False)
+
+
+class TestEnsureDiskIndex:
+    def test_builds_then_reopens_without_rebuild(self, suite, tmp_path):
+        lib = suite.libraries[0]
+        with use_metrics(MetricsRegistry()) as registry:
+            first = ensure_disk_index(lib, tmp_path)
+            built = registry.counter_values().get("msa.index.rebuild", 0)
+        assert first.fingerprint == lib.fingerprint()
+        # Second campaign: artifact exists and verifies — the happy path
+        # must not construct any in-memory index.
+        with use_metrics(MetricsRegistry()) as registry:
+            again = ensure_disk_index(lib, tmp_path)
+            values = registry.counter_values()
+        assert built >= 0  # first run may reuse the suite's lazy index
+        assert values.get("msa.index.rebuild", 0) == 0
+        assert values["msa.index.attach"] == 1.0
+        assert again.path == first.path
+
+    def test_quarantines_and_rebuilds_corrupt_artifact(self, rng, tmp_path):
+        from repro.msa.databases import LibraryEntry, SequenceLibrary
+
+        entries = [
+            LibraryEntry(
+                entry_id=f"e{i}",
+                encoded=random_sequence(80, rng),
+                family_id=None,
+                divergence=0.0,
+                annotated=False,
+            )
+            for i in range(6)
+        ]
+        lib = SequenceLibrary("qlib", entries, modeled_bytes=1000)
+        disk = ensure_disk_index(lib, tmp_path)
+        reference = disk.count_hits_many([e.encoded for e in entries])
+        # Corrupt one shard file in place.
+        victim = next(disk.path.glob("shard*.ids.npy"))
+        raw = bytearray(victim.read_bytes())
+        raw[-1] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        with use_metrics(MetricsRegistry()) as registry:
+            rebuilt = ensure_disk_index(lib, tmp_path)
+            corrupt = registry.counter_values()["msa.index.corrupt"]
+        assert corrupt == 1.0
+        quarantined = list(tmp_path.glob("*.corrupt0"))
+        assert len(quarantined) == 1
+        assert rebuilt.path.exists()
+        assert (
+            rebuilt.count_hits_many([e.encoded for e in entries]) == reference
+        ).all()
+
+    def test_fingerprint_mismatch_quarantines(self, rng, tmp_path):
+        from repro.msa.databases import LibraryEntry, SequenceLibrary
+
+        def make(seed):
+            r = np.random.default_rng(seed)
+            entries = [
+                LibraryEntry(
+                    entry_id=f"e{i}",
+                    encoded=random_sequence(60, r),
+                    family_id=None,
+                    divergence=0.0,
+                    annotated=False,
+                )
+                for i in range(3)
+            ]
+            return SequenceLibrary("qlib", entries, modeled_bytes=1000)
+
+        a, b = make(1), make(2)
+        disk_a = ensure_disk_index(a, tmp_path)
+        # Force b's artifact dir to collide with a's stale content.
+        stale = tmp_path / f"qlib.{b.fingerprint()[:12]}"
+        disk_a.path.rename(stale)
+        with use_metrics(MetricsRegistry()) as registry:
+            disk_b = ensure_disk_index(b, tmp_path)
+            assert registry.counter_values()["msa.index.corrupt"] == 1.0
+        assert disk_b.fingerprint == b.fingerprint()
+
+
+class TestSuiteIntegration:
+    def test_attach_suite_index(self, suite, tmp_path):
+        attached = attach_suite_index(suite, tmp_path)
+        assert len(attached) == len(suite.libraries)
+        for lib, disk in zip(suite.libraries, attached):
+            assert lib.index is disk
+            assert isinstance(lib.index, DiskKmerIndex)
+            assert disk.fingerprint == lib.fingerprint()
+        # Reset the suite's libraries back to lazy in-memory indexes so
+        # the session-scoped fixture is unchanged for other tests.
+        for lib in suite.libraries:
+            lib._index = None
+
+    def test_fingerprint_does_not_build_index(self, rng):
+        from repro.msa.databases import LibraryEntry, SequenceLibrary
+
+        entries = [
+            LibraryEntry(
+                entry_id="e0",
+                encoded=random_sequence(50, rng),
+                family_id=None,
+                divergence=0.0,
+                annotated=False,
+            )
+        ]
+        lib = SequenceLibrary("fp", entries, modeled_bytes=10)
+        lib.fingerprint()
+        assert lib._index is None
+
+    def test_attach_index_rejects_wrong_size(self, rng, tmp_path):
+        from repro.msa.databases import LibraryEntry, SequenceLibrary
+
+        entries = [
+            LibraryEntry(
+                entry_id=f"e{i}",
+                encoded=random_sequence(50, rng),
+                family_id=None,
+                divergence=0.0,
+                annotated=False,
+            )
+            for i in range(2)
+        ]
+        lib = SequenceLibrary("sz", entries, modeled_bytes=10)
+        _, foreign = _build_disk(
+            tmp_path, [random_sequence(50, rng) for _ in range(5)]
+        )
+        with pytest.raises(ValueError):
+            lib.attach_index(foreign)
+
+    def test_attach_index_rejects_wrong_fingerprint(self, rng, tmp_path):
+        from repro.msa.databases import LibraryEntry, SequenceLibrary
+
+        entries = [
+            LibraryEntry(
+                entry_id=f"e{i}",
+                encoded=random_sequence(50, rng),
+                family_id=None,
+                divergence=0.0,
+                annotated=False,
+            )
+            for i in range(2)
+        ]
+        lib = SequenceLibrary("fpz", entries, modeled_bytes=10)
+        _, foreign = _build_disk(
+            tmp_path, [random_sequence(50, rng) for _ in range(2)]
+        )
+        assert foreign.n_sequences == len(entries)
+        with pytest.raises(ValueError):
+            lib.attach_index(foreign)  # fingerprint "fff..." != lib's

@@ -134,3 +134,38 @@ class TestFeatures:
                 deltas.append(abs(red_d - full_d) / full_d)
         assert deltas, "no family members sampled"
         assert float(np.median(deltas)) < 0.35
+
+
+class TestQueryCodeMemo:
+    def test_memoizes_per_k(self, rng):
+        from repro.msa import QueryCodeMemo
+        from repro.msa.kmer import kmer_codes
+
+        seq = random_sequence(150, rng)
+        memo = QueryCodeMemo(seq)
+        a = memo.codes_for(5)
+        b = memo.codes_for(5)
+        assert a is b
+        assert memo.n_extractions == 1
+        assert np.array_equal(a, np.unique(kmer_codes(seq, 5)))
+        memo.codes_for(6)
+        assert memo.n_extractions == 2
+
+    def test_search_suite_extracts_codes_once(self, proteome, suite, monkeypatch):
+        # Four libraries at one shared k: exactly one kmer_codes +
+        # unique pass per query, not one per library.
+        import repro.msa.search as search_mod
+
+        created = []
+        real = search_mod.QueryCodeMemo
+
+        def tracking(encoded):
+            memo = real(encoded)
+            created.append(memo)
+            return memo
+
+        monkeypatch.setattr(search_mod, "QueryCodeMemo", tracking)
+        record = next(iter(proteome))
+        search_suite(record, suite)
+        assert len(created) == 1
+        assert created[0].n_extractions == 1
