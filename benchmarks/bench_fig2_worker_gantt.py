@@ -113,6 +113,12 @@ def test_fig2_worker_gantt(benchmark, tasks):
             f"makespan random : {random_run.makespan_seconds / 3600:.2f} h "
             f"(finish spread {spread_random:.1f} min, "
             f"utilization {random_run.utilization():.1%})",
+            "",
+            "These lanes show a single stage run in isolation; under "
+            "--schedule streaming the same workers interleave feature, "
+            "inference and relax tasks from different sequences, so the "
+            "idle tail each stage barrier leaves here is filled by the "
+            "next stage's ready work (see BENCH_streaming.json).",
         ]
     )
     save_result("fig2_worker_gantt", text)

@@ -13,6 +13,13 @@ closest in-process stand-in for the paper's node failures.  Then:
 3. re-runs the identical campaign with ``--resume`` and asserts it
    completes (rc 0) while reporting skipped, already-ledgered work.
 
+The same drill then runs against ``--schedule streaming`` — the
+campaign as one dependency-driven dataflow, killed while chains are
+interleaved mid-flight — with two extra teeth: the resumed run may
+recompute at most one ledgered task (only the record a torn final
+ledger line dropped), and the relaxed structures it stores must be
+byte-identical to an uninterrupted reference campaign's artifacts.
+
 Run from the repo root (CI does)::
 
     PYTHONPATH=src python scripts/kill_resume_smoke.py
@@ -21,6 +28,7 @@ Run from the repo root (CI does)::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import hashlib
 import json
 import pickle
@@ -98,6 +106,114 @@ def validate_state_dir(state_dir: Path) -> dict[str, int]:
     return ok_counts
 
 
+def ok_keys_of(state_dir: Path) -> list[tuple[str, str]]:
+    """Every parseable ledgered-ok ``(stage, key)`` entry, in order."""
+    keys: list[tuple[str, str]] = []
+    for line in (state_dir / "ledger.jsonl").read_text().splitlines()[1:]:
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if entry.get("ok"):
+            keys.append((entry["stage"], entry["key"]))
+    return keys
+
+
+def _canonical(value):
+    """Recursively strip object-graph accidents from a stored value.
+
+    Whether one array is a view of another, or two fields share an
+    object, is an accident of the run's history (restored objects lose
+    sharing) that whole-object pickles encode via the memo; the
+    *content* — every byte of every array, every scalar — is what must
+    survive a kill+resume bit-identically.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return [
+            (f.name, _canonical(getattr(value, f.name)))
+            for f in dataclasses.fields(value)
+        ]
+    if hasattr(value, "tobytes") and hasattr(value, "dtype"):  # ndarray
+        return (str(value.dtype), value.shape, value.tobytes())
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return sorted((k, _canonical(v)) for k, v in value.items())
+    return value
+
+
+def artifact_value_bytes(state_dir: Path, stage: str, key: str) -> bytes:
+    """A canonical byte fingerprint of one stored artifact's value."""
+    name = hashlib.sha256(key.encode()).hexdigest()
+    payload = pickle.loads(
+        (state_dir / "artifacts" / stage / f"{name}.pkl").read_bytes()
+    )
+    return pickle.dumps(_canonical(payload["value"]))
+
+
+def streaming_scenario(workdir: Path, crash_after: int) -> None:
+    """Kill a streaming campaign mid-flight; resume must not recompute."""
+    state_dir = workdir / "streaming-state"
+    reference_dir = workdir / "streaming-reference"
+    streaming = CAMPAIGN + ["--schedule", "streaming"]
+
+    print(
+        f"[4/6] streaming campaign with SIGKILL after {crash_after} "
+        "inference tasks"
+    )
+    crashed = run(
+        streaming
+        + ["--state-dir", str(state_dir),
+           "--crash-after-inference-tasks", str(crash_after)]
+    )
+    check(
+        crashed.returncode in (-9, 137),
+        f"streaming campaign was SIGKILLed (rc={crashed.returncode})",
+    )
+    ok_counts = validate_state_dir(state_dir)
+    check(
+        ok_counts.get("inference", 0) >= crash_after,
+        f"streaming crash-trigger records were durable: {ok_counts}",
+    )
+    before = ok_keys_of(state_dir)
+
+    print("[5/6] resuming the killed streaming campaign")
+    resumed = run(streaming + ["--state-dir", str(state_dir), "--resume"])
+    check(resumed.returncode == 0, f"resume completed (rc={resumed.returncode})")
+    check("resume   : skipped" in resumed.stdout, "resume reported skipped work")
+    check(
+        "streaming:" in resumed.stdout,
+        "resumed run reported the streaming makespan summary",
+    )
+    after = ok_keys_of(state_dir)
+    # Every pre-kill ok record was skipped on resume, not recomputed —
+    # except at most the one task a torn final ledger line dropped.
+    recomputed = [k for k in set(before) if after.count(k) > before.count(k)]
+    check(
+        len(recomputed) <= 1,
+        f"resume recomputed at most one ledgered task ({recomputed})",
+    )
+    check(
+        len(set(after)) > len(set(before)),
+        "resume extended the streaming ledger",
+    )
+
+    print("[6/6] comparing against an uninterrupted reference campaign")
+    reference = run(streaming + ["--state-dir", str(reference_dir)])
+    check(
+        reference.returncode == 0,
+        f"reference campaign completed (rc={reference.returncode})",
+    )
+    relax_keys = sorted(k for stage, k in set(after) if stage == "relax")
+    check(bool(relax_keys), "streaming campaign stored relax artifacts")
+    for key in relax_keys:
+        check(
+            artifact_value_bytes(state_dir, "relax", key)
+            == artifact_value_bytes(reference_dir, "relax", key),
+            f"relax artifact byte-identical after kill+resume: {key}",
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -142,6 +258,8 @@ def main(argv: list[str] | None = None) -> int:
         final_counts.get("inference", 0) > ok_counts.get("inference", 0),
         "resume extended the ledger instead of rewriting it",
     )
+
+    streaming_scenario(workdir, args.crash_after)
     print("kill/resume smoke ok:", final_counts)
     return 0
 

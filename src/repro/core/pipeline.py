@@ -33,6 +33,7 @@ from ..cluster.costmodel import (
 )
 from ..cluster.machine import ANDES, SUMMIT, MachineSpec
 from ..constants import REDUCED_DATASET_BYTES
+from ..dataflow.bubbles import bubble_seconds as compute_bubble_seconds
 from ..dataflow.engine import ExecutionResult, ThreadedExecutor
 from ..dataflow.faults import RetryPolicy, is_oom_error
 from ..dataflow.process import ProcessExecutor
@@ -57,7 +58,7 @@ from ..structure.protein import Structure
 from ..telemetry.metrics import get_metrics
 from ..telemetry.session import TelemetrySession
 from ..telemetry.tracer import get_tracer, spans_from_records
-from . import stagework
+from . import stagework, streaming
 from .presets import Preset, get_preset
 
 __all__ = [
@@ -103,6 +104,47 @@ def kingdom_bias_for(species: str) -> float:
     if spec is None:
         return 0.0
     return 0.08 if spec.kingdom == "plant" else 0.0
+
+
+def _assemble_inference(
+    features: dict[str, FeatureBundle],
+    bank: list[SurrogateFoldModel],
+    preset: Preset,
+    preds_by_key: dict[str, Prediction],
+) -> tuple[
+    dict[str, list[Prediction]], list[tuple[str, str]], dict[str, float]
+]:
+    """Group per-(target, model) predictions, shared by both schedules.
+
+    Returns ``(predictions, oom_failures, sim_durations)`` — missing
+    keys are OOM losses whose simulated duration falls back to the
+    preset's recycle cap, exactly the barrier stage's accounting.  One
+    function serves the barrier and streaming paths so grouping /
+    tie-break / duration logic cannot drift between them.
+    """
+    predictions: dict[str, list[Prediction]] = {}
+    oom: list[tuple[str, str]] = []
+    durations: dict[str, float] = {}
+    for record_id, bundle in features.items():
+        bias = kingdom_bias_for(bundle.record.species)
+        for model in bank:
+            key = f"{record_id}/{model.name}"
+            pred = preds_by_key.get(key)
+            if pred is None:
+                oom.append((record_id, model.name))
+                durations[key] = inference_task_seconds(
+                    bundle.length,
+                    preset.config(kingdom_bias=bias).recycle_cap(
+                        bundle.length
+                    ),
+                    preset.n_ensembles,
+                )
+            else:
+                predictions.setdefault(record_id, []).append(pred)
+                durations[key] = inference_task_seconds(
+                    bundle.length, pred.n_recycles, preset.n_ensembles
+                )
+    return predictions, oom, durations
 
 
 @dataclass
@@ -218,6 +260,25 @@ class PipelineResult:
     feature_stage: FeatureStageResult
     inference_stage: InferenceStageResult
     relax_stage: RelaxStageResult
+    #: Which scheduler produced this result: ``"barrier"`` (three
+    #: sequential stage maps) or ``"streaming"`` (one dependency-driven
+    #: dataflow over pooled workers).  Scientific outputs are
+    #: bit-identical either way; the operational numbers below differ.
+    schedule: str = "barrier"
+    #: Unified dependency-driven campaign simulation (streaming runs
+    #: only): one scheduler startup, CPU/GPU pools, chains overlapping
+    #: in time.  ``None`` under the barrier schedule, whose operational
+    #: model is the three per-stage simulations.
+    streaming_simulation: SimulationResult | None = None
+    #: Worker-idle-while-eligible-work-exists seconds over the whole
+    #: campaign timeline (see :mod:`repro.dataflow.bubbles`), computed
+    #: for whichever schedule ran.  Also exported as the
+    #: ``pipeline.bubble_seconds`` gauge.
+    bubble_seconds: float = 0.0
+    #: When the first relaxed structure lands on the campaign timeline
+    #: (APACE's latency lens).  Barrier: after the full feature and
+    #: inference stages.  Streaming: as soon as the first chain drains.
+    time_to_first_structure_seconds: float = 0.0
 
     @property
     def total_node_hours(self) -> float:
@@ -225,6 +286,17 @@ class PipelineResult:
             self.feature_stage.node_hours
             + self.inference_stage.node_hours
             + self.relax_stage.node_hours
+        )
+
+    @property
+    def campaign_walltime_seconds(self) -> float:
+        """Modelled campaign wall time under the schedule that ran."""
+        if self.streaming_simulation is not None:
+            return self.streaming_simulation.walltime_seconds
+        return (
+            self.feature_stage.simulation.walltime_seconds
+            + self.inference_stage.simulation.walltime_seconds
+            + self.relax_stage.simulation.walltime_seconds
         )
 
 
@@ -265,6 +337,14 @@ class ProteomePipeline:
     #: callback and the task observer are identical on both: callbacks
     #: always run in this (the coordinating) process.
     executor_backend: str = "threaded"
+    #: Campaign scheduler: ``"barrier"`` (default — three sequential
+    #: stage maps, each joining before the next) or ``"streaming"``
+    #: (the whole campaign as per-sequence dependency chains on one
+    #: executor with CPU/GPU worker pools; each sequence flows to its
+    #: next stage the moment its predecessors finish).  Outputs are
+    #: bit-identical; streaming collapses the stage-boundary bubbles
+    #: and time-to-first-structure.
+    schedule: str = "barrier"
     #: Directory of sharded, memory-mapped k-mer index artifacts
     #: (``repro index build`` / :func:`repro.msa.diskindex.build_disk_index`).
     #: When set, the feature stage attaches every suite library to its
@@ -492,7 +572,6 @@ class ProteomePipeline:
         bank = [SurrogateFoldModel(factory, i) for i in range(5)]
         tasks: list[TaskSpec] = []
         memory_needed: dict[str, int] = {}
-        biases: dict[str, float] = {}
         std_budget = standard_worker_memory_bytes()
         hm_budget = highmem_worker_memory_bytes()
         highmem_nodes = (
@@ -509,7 +588,6 @@ class ProteomePipeline:
             for model in bank:
                 key = f"{record_id}/{model.name}"
                 memory_needed[key] = needed
-                biases[key] = bias
                 # Payload carries the model *index*, not the model: the
                 # worker-side bank (stagework.init_inference_stage) owns
                 # the factory, so a process worker never re-pickles it
@@ -569,27 +647,9 @@ class ProteomePipeline:
             )
 
             preds_by_key = {**restored, **execution.results}
-            predictions: dict[str, list[Prediction]] = {}
-            oom: list[tuple[str, str]] = []
-            durations: dict[str, float] = {}
-            for record_id, bundle in features.items():
-                for model in bank:
-                    key = f"{record_id}/{model.name}"
-                    pred = preds_by_key.get(key)
-                    if pred is None:
-                        oom.append((record_id, model.name))
-                        durations[key] = inference_task_seconds(
-                            bundle.length,
-                            preset.config(
-                                kingdom_bias=biases[key]
-                            ).recycle_cap(bundle.length),
-                            preset.n_ensembles,
-                        )
-                    else:
-                        predictions.setdefault(record_id, []).append(pred)
-                        durations[key] = inference_task_seconds(
-                            bundle.length, pred.n_recycles, preset.n_ensembles
-                        )
+            predictions, oom, durations = _assemble_inference(
+                features, bank, preset, preds_by_key
+            )
             if oom:
                 metrics.counter("inference.oom.lost_tasks").inc(len(oom))
             workers = make_workers(
@@ -711,6 +771,441 @@ class ProteomePipeline:
             execution=batch.execution,
         )
 
+    # -- Streaming schedule --------------------------------------------------
+    def _streaming_executor(
+        self, n_items: int
+    ) -> ThreadedExecutor | ProcessExecutor:
+        """Pooled executor for a streaming campaign.
+
+        Splits the compute workers into the ParaFold shape — a CPU pool
+        (feature + relax tasks) and a GPU pool (inference) — with the
+        high-memory slot landing in the GPU pool, where the 2 TB
+        inference nodes live.  A single worker cannot split; it serves
+        both pools (pool-less workers match any lane).
+        """
+        n = self.compute_workers
+        if n <= 0:
+            n = max(1, min(8, os.cpu_count() or 1))
+        n = min(n, max(1, n_items))
+        highmem = 1 if self.use_highmem_routing else 0
+        if self.executor_backend == "process":
+            cls: Any = ProcessExecutor
+        elif self.executor_backend == "threaded":
+            cls = ThreadedExecutor
+        else:
+            raise ValueError(
+                f"unknown executor backend {self.executor_backend!r}; "
+                "expected 'threaded' or 'process'"
+            )
+        if n < 2:
+            return cls(1, highmem_workers=highmem)
+        cpu = max(1, n // 2)
+        return cls(pools={"cpu": cpu, "gpu": n - cpu}, highmem_workers=highmem)
+
+    def _streaming_callback(
+        self,
+    ) -> Callable[[TaskRecord, Any], None] | None:
+        """Per-record callback that de-prefixes keys before persistence.
+
+        Streaming task keys carry their stage prefix
+        (``inference/P001/model_3``); the ledger, artifact store and
+        task observer all speak the barrier path's bare per-stage keys
+        (``P001/model_3`` under stage ``inference``).  Stripping here
+        keeps the on-disk state byte-compatible across schedules, so a
+        barrier campaign can resume a killed streaming one and vice
+        versa.
+        """
+        state, observer = self.run_state, self.task_observer
+        if state is None and observer is None:
+            return None
+        persists = {
+            stage: (state.on_complete(stage) if state is not None else None)
+            for stage in streaming.STREAM_STAGES
+        }
+
+        def callback(record: TaskRecord, value: Any) -> None:
+            stage, bare = stagework.split_streaming_key(record.key)
+            bare_record = replace(record, key=bare)
+            persist = persists.get(stage)
+            if persist is not None:
+                persist(bare_record, value)
+            if observer is not None:
+                observer(stage, bare_record, value)
+
+        return callback
+
+    def _run_streaming(
+        self,
+        proteome: Proteome,
+        suite: LibrarySuite,
+        factory: NativeFactory,
+    ) -> PipelineResult:
+        """The whole campaign as one dependency-driven dataflow.
+
+        One executor map over every ``feature → inference×5 → relax``
+        chain: tasks are held until their predecessors complete, CPU
+        and GPU pools run concurrently, and each sequence's relaxation
+        can finish while another sequence's MSA search is still
+        running.  Scientific outputs are bit-identical to
+        :meth:`_run_stages` (same task functions, same tie-breaks, same
+        budgets); the per-stage *simulations* are also computed exactly
+        as the barrier path computes them — so node-hour accounting is
+        schedule-invariant — plus one unified dependency-driven
+        simulation that models the streaming timeline itself.
+        """
+        plan = self.replication_plan or paper_plan(REDUCED_DATASET_BYTES)
+        contention = plan.contention()
+        dataset_fraction = suite.total_modeled_bytes / 2.1e12
+        preset = get_preset(self.preset_name)
+        records = list(proteome)
+        rids = [r.record_id for r in records]
+        bank = [SurrogateFoldModel(factory, i) for i in range(5)]
+        model_names = [m.name for m in bank]
+        std_budget = standard_worker_memory_bytes()
+        hm_budget = highmem_worker_memory_bytes()
+        tracer = get_tracer()
+        metrics = get_metrics()
+        counters_before = metrics.counter_values()
+
+        specs = streaming.build_campaign_specs(
+            records, model_names, lambda r: kingdom_bias_for(r.species)
+        )
+        if self.index_dir is not None:
+            attach_suite_index(suite, self.index_dir)
+
+        # Resume: restore every stage's ledgered keys up front; their
+        # results seed the dependency-resolution map, so chains resume
+        # mid-flight (a ledgered feature feeds a pending inference).
+        restored_f = self._restore_completed("feature", rids)
+        restored_i = self._restore_completed(
+            "inference",
+            [f"{rid}/{name}" for rid in rids for name in model_names],
+        )
+        restored_r = self._restore_completed("relax", rids)
+        preresolved: dict[str, Any] = {}
+        preresolved.update(
+            {f"feature/{k}": v for k, v in restored_f.items()}
+        )
+        preresolved.update(
+            {f"inference/{k}": v for k, v in restored_i.items()}
+        )
+        preresolved.update({f"relax/{k}": v for k, v in restored_r.items()})
+        pending = [s for s in specs if s.key not in preresolved]
+        n_tasks_of = {
+            stage: sum(1 for s in specs if streaming.stage_of(s) == stage)
+            for stage in streaming.STREAM_STAGES
+        }
+
+        # Three *sibling* stage spans stay open for the whole map: task
+        # spans parent onto their stage explicitly (the thread-stack
+        # rule would nest interleaved stages into each other).
+        stage_spans = None
+        if tracer.enabled:
+            parent = tracer.current_span()
+            stage_spans = {
+                stage: tracer.start_span(
+                    "stage",
+                    label,
+                    parent=parent,
+                    stacked=False,
+                    attrs={
+                        "n_tasks": n_tasks_of[stage],
+                        "schedule": "streaming",
+                    },
+                )
+                for stage, label in (
+                    ("feature", "features"),
+                    ("inference", "inference"),
+                    ("relax", "relax"),
+                )
+            }
+        try:
+            execution = self._streaming_executor(len(pending)).map(
+                stagework.streaming_task,
+                pending,
+                pass_spec=True,
+                stage="dataflow",
+                stage_of=streaming.stage_of,
+                stage_spans=stage_spans,
+                finalize_fn=streaming.make_inference_finalizer(
+                    preset.n_ensembles, std_budget, self.use_highmem_routing
+                ),
+                inject_deps=True,
+                preresolved=preresolved,
+                on_complete=self._streaming_callback(),
+                initializer=stagework.init_streaming,
+                initargs=(
+                    suite,
+                    self.feature_config,
+                    self.feature_cache,
+                    factory,
+                    preset.name,
+                ),
+            )
+
+            records_of: dict[str, list[TaskRecord]] = {
+                stage: [] for stage in streaming.STREAM_STAGES
+            }
+            for r in execution.records:
+                stage, _ = stagework.split_streaming_key(r.key)
+                if stage in records_of:
+                    records_of[stage].append(r)
+            _raise_on_failures(records_of["feature"], "feature generation")
+            _raise_on_failures(
+                records_of["inference"], "inference", allow=is_oom_error
+            )
+            _raise_on_failures(
+                records_of["relax"],
+                "relax",
+                allow=lambda e: e.startswith("SkippedDependency"),
+            )
+
+            def value_of(key: str) -> Any:
+                if key in execution.results:
+                    return execution.results[key]
+                return preresolved.get(key)
+
+            features = {
+                rid: value_of(f"feature/{rid}") for rid in rids
+            }
+            preds_by_key = {}
+            for rid in rids:
+                for name in model_names:
+                    pred = value_of(f"inference/{rid}/{name}")
+                    if pred is not None:
+                        preds_by_key[f"{rid}/{name}"] = pred
+            predictions, oom, inference_durations = _assemble_inference(
+                features, bank, preset, preds_by_key
+            )
+            if oom:
+                metrics.counter("inference.oom.lost_tasks").inc(len(oom))
+            top = {
+                rid: max(preds, key=lambda p: p.ptms)
+                for rid, preds in predictions.items()
+                if preds
+            }
+            outcomes: dict[str, RelaxOutcome] = {}
+            for rid in top:
+                outcome = value_of(f"relax/{rid}")
+                if outcome is not None:
+                    outcomes[rid] = outcome
+
+            # -- Operational model, barrier-identical per stage ---------
+            # (node-hour accounting must not depend on the schedule).
+            self._sim_offset = 0.0
+            feature_tasks = [
+                TaskSpec(
+                    key=record.record_id,
+                    payload=record,
+                    size_hint=record.length,
+                )
+                for record in records
+            ]
+            n_feature_workers = min(
+                plan.n_concurrent_jobs, self.feature_nodes * 4
+            )
+            feature_nodes = min(self.feature_nodes, n_feature_workers)
+            per_node = -(-n_feature_workers // feature_nodes)  # ceil
+            feature_workers = make_workers(feature_nodes, per_node)[
+                :n_feature_workers
+            ]
+
+            def feature_duration(task: TaskSpec) -> float:
+                return feature_task_seconds(
+                    int(task.size_hint),
+                    dataset_fraction=max(dataset_fraction, 1e-3),
+                    io_contention=contention,
+                )
+
+            feature_sim = simulate_dataflow(
+                feature_tasks, feature_workers, feature_duration
+            )
+
+            memory_needed = {}
+            inference_tasks = []
+            for rid in rids:
+                bundle = features[rid]
+                needed = inference_memory_bytes(
+                    bundle.length, preset.n_ensembles, bundle.msa_depth
+                )
+                for name in model_names:
+                    key = f"{rid}/{name}"
+                    memory_needed[key] = needed
+                    inference_tasks.append(
+                        TaskSpec(
+                            key=key,
+                            payload=None,
+                            size_hint=bundle.length,
+                            requires_highmem=(
+                                self.use_highmem_routing
+                                and needed > std_budget
+                            ),
+                        )
+                    )
+            highmem_nodes = (
+                self.inference_highmem_nodes
+                if self.use_highmem_routing
+                else 0
+            )
+            inference_workers = make_workers(
+                self.inference_nodes,
+                self.gpu_machine.gpus_per_node,
+                highmem_nodes=highmem_nodes,
+            )
+
+            def oom_failure(task: TaskSpec, worker: WorkerInfo) -> str | None:
+                bare = task.key.partition("/")[2] or task.key
+                needed = memory_needed.get(
+                    bare if task.key.startswith("inference/") else task.key
+                )
+                if needed is None:
+                    return None
+                budget = hm_budget if worker.highmem else std_budget
+                if needed > budget:
+                    return (
+                        f"OutOfMemoryError: {task.key} needs "
+                        f"{needed / 2**30:.1f} GiB, worker budget is "
+                        f"{budget / 2**30:.1f} GiB"
+                    )
+                return None
+
+            inference_sim = simulate_dataflow(
+                inference_tasks,
+                inference_workers,
+                lambda t: inference_durations[t.key],
+                failure_fn=oom_failure,
+            )
+
+            relax_tasks = [
+                TaskSpec(
+                    key=rid,
+                    payload=top[rid].structure,
+                    size_hint=len(top[rid].structure),
+                )
+                for rid in top
+            ]
+            relax_durations = {
+                rid: relax_task_seconds(
+                    outcome.n_heavy_atoms,
+                    outcome.n_minimizations,
+                    device="gpu",
+                )
+                for rid, outcome in outcomes.items()
+            }
+            relax_workers = make_workers(
+                self.relax_nodes, self.gpu_machine.gpus_per_node
+            )
+            relax_sim = simulate_dataflow(
+                relax_tasks, relax_workers, lambda t: relax_durations[t.key]
+            )
+
+            # -- Unified streaming simulation + bubble/TTFS -------------
+            sim_specs = []
+            for s in specs:
+                if streaming.stage_of(s) == "inference":
+                    bare = s.key.partition("/")[2]
+                    s = replace(
+                        s,
+                        requires_highmem=(
+                            self.use_highmem_routing
+                            and memory_needed[bare] > std_budget
+                        ),
+                    )
+                sim_specs.append(s)
+            durations_all: dict[str, float] = {}
+            for task in feature_tasks:
+                durations_all[f"feature/{task.key}"] = feature_duration(task)
+            for key, seconds in inference_durations.items():
+                durations_all[f"inference/{key}"] = seconds
+            for rid, seconds in relax_durations.items():
+                durations_all[f"relax/{rid}"] = seconds
+            cpu_pool = make_workers(feature_nodes, per_node, pool="cpu")[
+                :n_feature_workers
+            ]
+            gpu_pool = make_workers(
+                self.inference_nodes,
+                self.gpu_machine.gpus_per_node,
+                highmem_nodes=highmem_nodes,
+                pool="gpu",
+            )
+            streaming_sim = streaming.simulate_streaming_campaign(
+                sim_specs,
+                cpu_pool + gpu_pool,
+                durations_all,
+                failure_fn=oom_failure,
+            )
+            bubble = compute_bubble_seconds(
+                streaming_sim.records, streaming_sim.workers, sim_specs
+            )
+            ttfs = streaming.time_to_first_structure_seconds(
+                streaming_sim.records,
+                startup=streaming_sim.startup_seconds,
+            )
+            metrics.gauge("pipeline.bubble_seconds").set(bubble)
+            metrics.gauge("pipeline.time_to_first_structure_seconds").set(
+                ttfs
+            )
+
+            if stage_spans is not None:
+                for stage, sim, label, skipped in (
+                    ("feature", feature_sim, "features", len(restored_f)),
+                    ("inference", inference_sim, "inference", len(restored_i)),
+                    ("relax", relax_sim, "relax", len(restored_r)),
+                ):
+                    span = stage_spans[stage]
+                    span.set_attr("n_workers", len(sim.workers))
+                    span.set_attr(
+                        "sim_walltime_seconds", sim.walltime_seconds
+                    )
+                    span.set_attr("n_skipped_resume", skipped)
+                    self._extend_sim_spans(tracer, sim, span, label)
+                stage_spans["inference"].set_attr("n_oom_failures", len(oom))
+        finally:
+            if stage_spans is not None:
+                for span in stage_spans.values():
+                    tracer.finish_span(span)
+
+        stage_metrics = metrics.delta(
+            counters_before, metrics.counter_values()
+        )
+        feature_stage = FeatureStageResult(
+            features=features,
+            simulation=feature_sim,
+            n_nodes=self.feature_nodes,
+            machine=self.feature_machine,
+            plan=plan,
+            stage_metrics=stage_metrics,
+            execution=execution,
+        )
+        inference_stage = InferenceStageResult(
+            predictions=predictions,
+            top_models=top,
+            oom_failures=oom,
+            simulation=inference_sim,
+            n_nodes=self.inference_nodes,
+            machine=self.gpu_machine,
+            preset=preset,
+            stage_metrics=stage_metrics,
+            execution=execution,
+        )
+        relax_stage = RelaxStageResult(
+            outcomes=outcomes,
+            simulation=relax_sim,
+            n_nodes=self.relax_nodes,
+            machine=self.gpu_machine,
+            stage_metrics=stage_metrics,
+            execution=execution,
+        )
+        return PipelineResult(
+            feature_stage=feature_stage,
+            inference_stage=inference_stage,
+            relax_stage=relax_stage,
+            schedule="streaming",
+            streaming_simulation=streaming_sim,
+            bubble_seconds=bubble,
+            time_to_first_structure_seconds=ttfs,
+        )
+
     # -- Full campaign -------------------------------------------------------
     def _run_stages(
         self,
@@ -729,11 +1224,55 @@ class ProteomePipeline:
                 for rid, pred in inference_stage.top_models.items()
             }
         )
+        # Score the barrier schedule's bubbles on the same dependency
+        # DAG the streaming scheduler executes: per-stage simulations
+        # stitched onto one timeline, workers scoped to their stage —
+        # the idle-while-ready-work-waited seconds the barriers cost.
+        specs = streaming.build_campaign_specs(
+            list(proteome),
+            [m.name for m in (SurrogateFoldModel(factory, i) for i in range(5))],
+            lambda r: kingdom_bias_for(r.species),
+        )
+        composite_records, composite_workers, composite_specs = (
+            streaming.barrier_composite(
+                [
+                    ("feature", feature_stage.simulation),
+                    ("inference", inference_stage.simulation),
+                    ("relax", relax_stage.simulation),
+                ],
+                specs,
+            )
+        )
+        bubble = compute_bubble_seconds(
+            composite_records, composite_workers, composite_specs
+        )
+        ttfs = streaming.time_to_first_structure_seconds(composite_records)
+        metrics = get_metrics()
+        metrics.gauge("pipeline.bubble_seconds").set(bubble)
+        metrics.gauge("pipeline.time_to_first_structure_seconds").set(ttfs)
         return PipelineResult(
             feature_stage=feature_stage,
             inference_stage=inference_stage,
             relax_stage=relax_stage,
+            schedule="barrier",
+            bubble_seconds=bubble,
+            time_to_first_structure_seconds=ttfs,
         )
+
+    def _run_campaign(
+        self,
+        proteome: Proteome,
+        suite: LibrarySuite,
+        factory: NativeFactory,
+    ) -> PipelineResult:
+        if self.schedule == "streaming":
+            return self._run_streaming(proteome, suite, factory)
+        if self.schedule != "barrier":
+            raise ValueError(
+                f"unknown schedule {self.schedule!r}; "
+                "expected 'barrier' or 'streaming'"
+            )
+        return self._run_stages(proteome, suite, factory)
 
     def run(
         self,
@@ -748,7 +1287,7 @@ class ProteomePipeline:
             )
         session = self.telemetry
         if session is None:
-            return self._run_stages(proteome, suite, factory)
+            return self._run_campaign(proteome, suite, factory)
         with session.activate():
             tracer = session.tracer
             t_start = tracer.now()
@@ -759,14 +1298,16 @@ class ProteomePipeline:
                 attrs={
                     "preset": self.preset_name,
                     "n_targets": len(proteome),
+                    "schedule": self.schedule,
                 },
             ):
-                result = self._run_stages(proteome, suite, factory)
+                result = self._run_campaign(proteome, suite, factory)
             wall_seconds = tracer.now() - t_start
         state = self.run_state
         session.annotate(
             preset=self.preset_name,
             n_targets=len(proteome),
+            schedule=result.schedule,
             library_fingerprint=suite.fingerprint(),
             resume={
                 "enabled": state is not None,
@@ -783,6 +1324,11 @@ class ProteomePipeline:
                 "inference": result.inference_stage.simulation.walltime_seconds,
                 "relax": result.relax_stage.simulation.walltime_seconds,
             },
+            campaign_walltime_seconds=result.campaign_walltime_seconds,
+            bubble_seconds=result.bubble_seconds,
+            time_to_first_structure_seconds=(
+                result.time_to_first_structure_seconds
+            ),
             node_hours=result.total_node_hours,
         )
         if session.run_dir is not None:

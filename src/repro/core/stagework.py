@@ -35,6 +35,7 @@ in initializer time.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import TYPE_CHECKING, Any
 
 from ..fold.memory import (
@@ -43,6 +44,7 @@ from ..fold.memory import (
 )
 from ..fold.model import SurrogateFoldModel
 from ..msa.features import generate_features
+from ..relax.protocols import SinglePassRelaxProtocol
 from .presets import get_preset
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -52,12 +54,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..fold.model import Prediction
     from ..msa.databases import LibrarySuite
     from ..msa.features import FeatureBundle, FeatureGenConfig
+    from ..relax.protocols import RelaxOutcome
 
 __all__ = [
     "init_feature_stage",
     "feature_task",
     "init_inference_stage",
     "inference_task",
+    "init_streaming",
+    "streaming_task",
+    "streaming_key",
+    "split_streaming_key",
 ]
 
 #: Process-local stage context, filled by the stage initializers.  One
@@ -117,3 +124,79 @@ def inference_task(spec: "TaskSpec") -> "Prediction":
         kingdom_bias=bias, memory_budget_bytes=budget
     )
     return model.predict(bundle, config)
+
+
+# -- Streaming: all three stages through one dependency-driven map ------------
+def streaming_key(stage: str, key: str) -> str:
+    """Stage-prefixed task key (``feature/P001``, ``inference/P001/m3``).
+
+    The prefix keeps feature and relax keys — both bare record ids —
+    distinct inside one campaign-wide map call; the streaming callback
+    strips it again before records reach the ledger, so on-disk state
+    stays byte-compatible with barrier runs (cross-schedule resume).
+    """
+    return f"{stage}/{key}"
+
+
+def split_streaming_key(key: str) -> tuple[str, str]:
+    """Invert :func:`streaming_key` → ``(stage, bare_key)``."""
+    stage, _, bare = key.partition("/")
+    return stage, bare
+
+
+def init_streaming(
+    suite: "LibrarySuite",
+    config: "FeatureGenConfig | None",
+    cache: "FeatureCache | None",
+    factory: "NativeFactory",
+    preset_name: str,
+) -> None:
+    """Install every stage's context at once for a streaming campaign.
+
+    A streaming worker may be handed a feature task, then an inference
+    task, then a relax minimisation — there is no per-stage worker
+    lifetime to hang separate initializers on — so this composes the
+    per-stage initializers plus the relax protocol into one call.
+    """
+    init_feature_stage(suite, config, cache)
+    init_inference_stage(factory, preset_name)
+    _CTX["relax_protocol"] = SinglePassRelaxProtocol(device="gpu")
+
+
+def streaming_task(spec: "TaskSpec") -> "FeatureBundle | Prediction | RelaxOutcome":
+    """Dispatch one streaming chain task by its stage prefix.
+
+    The payload arrives as ``(stage_payload, deps)`` — the executor's
+    ``inject_deps`` wrapping — where ``deps`` maps resolved dependency
+    keys to their results:
+
+    * ``feature/<rid>``: payload is the sequence record; no deps.
+    * ``inference/<rid>/<model>``: payload is ``(model_index, bias)``;
+      the single dep is the feature bundle.  Reuses
+      :func:`inference_task` verbatim (same budget-by-placement rule),
+      so predictions are bit-identical to the barrier stage.
+    * ``relax/<rid>``: payload is empty; deps are the five model
+      predictions, possibly short of five when some were lost to OOM
+      (``dep_mode="resolved"``).  Top-model selection is the barrier
+      stage's ``max(..., key=ptms)`` over predictions in bank order —
+      the dependency tuple preserves bank order, so ties break
+      identically.
+    """
+    payload, deps = spec.payload
+    stage, _ = split_streaming_key(spec.key)
+    if stage == "feature":
+        return feature_task(payload)
+    if stage == "inference":
+        bundle = deps[spec.depends_on[0]]
+        model_index, bias = payload
+        return inference_task(
+            replace(spec, payload=(bundle, model_index, bias))
+        )
+    if stage == "relax":
+        preds = [deps[k] for k in spec.depends_on if k in deps]
+        if not preds:  # pragma: no cover - queue poisons this case first
+            raise RuntimeError(f"{spec.key}: no surviving predictions")
+        top = max(preds, key=lambda p: p.ptms)
+        protocol: SinglePassRelaxProtocol = _CTX["relax_protocol"]
+        return protocol.run_prepared(protocol.prepare(top.structure))
+    raise ValueError(f"unknown streaming stage in key {spec.key!r}")

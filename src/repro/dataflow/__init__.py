@@ -1,7 +1,8 @@
 """Dataflow substrate: Dask-like queue/worker model, three executors, reporting."""
 
+from .bubbles import bubble_seconds
 from .client import Client, Future, SchedulerService
-from .engine import ExecutionResult, ThreadedExecutor
+from .engine import ExecutionResult, ThreadedExecutor, pooled_workers
 from .process import ProcessExecutor
 from .faults import (
     FaultInjector,
@@ -30,6 +31,8 @@ __all__ = [
     "ExecutionResult",
     "ThreadedExecutor",
     "ProcessExecutor",
+    "pooled_workers",
+    "bubble_seconds",
     "EncodedPayload",
     "ShmRef",
     "encode_payload",

@@ -43,9 +43,15 @@ from typing import Any, Callable, Iterable
 
 from ..telemetry.metrics import MetricsRegistry, get_metrics, set_metrics
 from ..telemetry.tracer import get_tracer, set_tracer
-from .engine import ExecutionResult
+from .engine import (
+    ExecutionResult,
+    _stage_handles,
+    pooled_workers,
+    skipped_dependency_error,
+    submit_items,
+)
 from .faults import RetryPolicy
-from .scheduler import TaskQueue, TaskRecord, TaskSpec, WorkerInfo, make_workers
+from .scheduler import TaskQueue, TaskRecord, TaskSpec, WorkerInfo
 from .shm import decode_payload, encode_payload, unlink_segment
 from .simulated import UNSCHEDULED_WORKER_ID
 
@@ -148,6 +154,11 @@ class ProcessExecutor:
     play the 2 TB high-memory nodes' role: only they are handed
     ``requires_highmem`` tasks.
 
+    ``pools`` optionally splits workers into named pools (see
+    :class:`~repro.dataflow.engine.ThreadedExecutor`): tasks carrying a
+    matching ``TaskSpec.pool`` only dispatch to that pool's processes —
+    the streaming campaign's CPU/GPU split.
+
     ``start_method`` defaults to ``fork`` where available (workers
     inherit the parent's heap copy-on-write, so spawning is cheap even
     with a multi-GB library suite loaded) and falls back to ``spawn``;
@@ -162,16 +173,12 @@ class ProcessExecutor:
         highmem_workers: int = 0,
         start_method: str | None = None,
         shm_min_bytes: int | None = None,
+        pools: dict[str, int] | None = None,
     ) -> None:
-        if n_workers < 1:
+        if pools is None and n_workers < 1:
             raise ValueError("need at least one worker")
-        if not 0 <= highmem_workers <= n_workers:
-            raise ValueError("highmem_workers must be in [0, n_workers]")
-        self.n_workers = n_workers
-        self.workers = [
-            replace(w, highmem=i >= n_workers - highmem_workers)
-            for i, w in enumerate(make_workers(n_nodes=1, workers_per_node=n_workers))
-        ]
+        self.workers = pooled_workers(pools, n_workers, highmem_workers)
+        self.n_workers = len(self.workers)
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
@@ -196,6 +203,11 @@ class ProcessExecutor:
         on_complete: Callable[[TaskRecord, Any], None] | None = None,
         initializer: Callable[..., None] | None = None,
         initargs: tuple = (),
+        stage_of: Callable[[TaskSpec], str] | None = None,
+        stage_spans: dict[str, Any] | None = None,
+        finalize_fn: Callable[[TaskSpec, dict[str, Any]], TaskSpec] | None = None,
+        inject_deps: bool = False,
+        preresolved: dict[str, Any] | None = None,
     ) -> ExecutionResult:
         """Apply ``func`` to items on the worker-process pool.
 
@@ -217,22 +229,22 @@ class ProcessExecutor:
         process — the write-ahead ledger keeps its single-writer,
         fsync-before-publish ordering without any cross-process
         coordination.
+
+        The streaming extensions (``stage_of``/``stage_spans``/
+        ``finalize_fn``/``inject_deps``/``preresolved``) carry the
+        :meth:`ThreadedExecutor.map` contract verbatim; dependency
+        injection and finalization happen parent-side at dispatch, so
+        worker processes see ordinary ``(payload, deps)`` payloads over
+        the usual shared-memory transport.
         """
         queue = TaskQueue()
-        for item in items:
-            if isinstance(item, TaskSpec):
-                queue.submit(item)
-            else:
-                try:
-                    key, payload, size_hint = item
-                except (TypeError, ValueError):
-                    raise ValueError(
-                        "items must be TaskSpec or (key, payload, size_hint) "
-                        f"tuples, got {item!r}"
-                    ) from None
-                queue.submit(
-                    TaskSpec(key=key, payload=payload, size_hint=size_hint)
-                )
+        queue.observe_pressure = True
+        resolved: dict[str, Any] = dict(preresolved or {})
+        if finalize_fn is not None:
+            queue.finalize = lambda spec: finalize_fn(spec, resolved)
+        if preresolved:
+            queue.satisfy_many(preresolved)
+        submit_items(queue, items)
         if sort_descending:
             queue.sort_descending()
 
@@ -243,11 +255,7 @@ class ProcessExecutor:
         defer_seq = 0
         tracer = get_tracer()
         metrics = get_metrics()
-        latency = metrics.histogram(f"{stage}.task.latency_seconds")
-        failures = metrics.counter(f"{stage}.task.failures")
-        retries = metrics.counter(f"{stage}.task.retries")
-        escalations = metrics.counter(f"{stage}.task.oom_escalations")
-        unschedulable = metrics.counter(f"{stage}.task.unschedulable")
+        handles_for = _stage_handles(metrics, stage, stage_of)
         lost_workers = metrics.counter(f"{stage}.worker.lost")
 
         ctx = multiprocessing.get_context(self.start_method)
@@ -290,6 +298,34 @@ class ProcessExecutor:
                     f"{record.key}: {type(exc).__name__}: {exc}"
                 )
 
+        def skip_record(
+            spec: TaskSpec, error: str, at: float, handles
+        ) -> None:
+            """Record a task that never ran (poisoned or unschedulable)."""
+            handles.failures.inc()
+            record = TaskRecord(
+                key=spec.key,
+                worker_id=UNSCHEDULED_WORKER_ID,
+                start=at,
+                end=at,
+                ok=False,
+                error=error,
+                attempt=spec.attempt,
+            )
+            notify_complete(record, None)
+            records.append(record)
+
+        def skip_poisoned(
+            poisoned: list[tuple[TaskSpec, tuple[str, ...]]]
+        ) -> None:
+            at = now()
+            for spec, failed_deps in poisoned:
+                handles = handles_for(spec)
+                handles.skipped_dependency.inc()
+                skip_record(
+                    spec, skipped_dependency_error(failed_deps), at, handles
+                )
+
         def complete(
             task: TaskSpec,
             worker: WorkerInfo,
@@ -301,11 +337,12 @@ class ProcessExecutor:
         ) -> None:
             """Record one finished attempt; schedule its retry if due."""
             nonlocal defer_seq
-            latency.observe(end - start)
+            handles = handles_for(task)
+            handles.latency.observe(end - start)
             if not ok:
-                failures.inc()
+                handles.failures.inc()
             if task.attempt > 1:
-                retries.inc()
+                handles.retries.inc()
             record = TaskRecord(
                 key=task.key,
                 worker_id=worker.worker_id,
@@ -317,6 +354,11 @@ class ProcessExecutor:
                 attempt=task.attempt,
             )
             if tracer.enabled:
+                parent = (
+                    stage_spans.get(handles.stage)
+                    if stage_spans is not None
+                    else None
+                )
                 tracer.complete(
                     "task",
                     task.key,
@@ -327,10 +369,11 @@ class ProcessExecutor:
                         "lane": worker.short_id,
                         "attempt": task.attempt,
                         "highmem": worker.highmem,
-                        "stage": stage,
+                        "stage": handles.stage,
                         "ok": ok,
                         "error": error,
                     },
+                    parent_id=parent.span_id if parent is not None else None,
                     thread=worker.worker_id,
                 )
             respawn = None
@@ -341,9 +384,9 @@ class ProcessExecutor:
             ):
                 respawn = retry_policy.next_task(task, error)
                 if respawn.requires_highmem and not task.requires_highmem:
-                    escalations.inc()
+                    handles.escalations.inc()
                     tracer.event(
-                        f"{stage}.task.oom_escalation",
+                        f"{handles.stage}.task.oom_escalation",
                         category="dataflow",
                         attrs={"key": task.key, "attempt": task.attempt},
                     )
@@ -351,6 +394,8 @@ class ProcessExecutor:
             records.append(record)
             if ok:
                 results[task.key] = value
+                resolved[task.key] = value
+                queue.mark_complete(task.key)
             if respawn is not None:
                 backoff = retry_policy.backoff_for(task.attempt)
                 if backoff > 0:
@@ -360,6 +405,12 @@ class ProcessExecutor:
                     )
                 else:
                     queue.submit(respawn)
+            elif not ok:
+                # Terminal failure: poison the downstream chain (and
+                # only it) — dependents become SkippedDependency
+                # records instead of stranding in the blocked set.
+                queue.mark_failed(task.key)
+                skip_poisoned(queue.reap_poisoned())
 
         def handle_worker_loss(slot: _WorkerSlot) -> None:
             """A worker died: reclaim its segment, requeue its task."""
@@ -431,7 +482,21 @@ class ProcessExecutor:
                                 ok=False, error=injected, value=None,
                             )
                             continue
-                        encoded = self._encode(task.payload)
+                        payload = task.payload
+                        if inject_deps:
+                            # Predecessor results ride the payload as
+                            # ``(payload, {dep_key: result})`` — the
+                            # spec kept on ``slot.current`` stays the
+                            # original so retries re-inject fresh.
+                            payload = (
+                                payload,
+                                {
+                                    k: resolved[k]
+                                    for k in task.depends_on
+                                    if k in resolved
+                                },
+                            )
+                        encoded = self._encode(payload)
                         try:
                             slot.conn.send(
                                 ("task", replace(
@@ -515,9 +580,10 @@ class ProcessExecutor:
                     pass
 
         walltime = now()
-        # Drain: tasks no surviving worker could take — highmem-only
-        # tasks without a live highmem worker, or anything left after
-        # every worker process died — are failed, not silently dropped.
+        # Drain: tasks no surviving worker could take — wrong pool,
+        # highmem-only without a live highmem worker, or anything left
+        # after every worker process died — are failed, not silently
+        # dropped, and their dependents are poisoned with them.
         leftovers = [task for _, _, task in sorted(deferred)]
         while True:
             task = queue.pop()
@@ -526,24 +592,28 @@ class ProcessExecutor:
             leftovers.append(task)
         any_alive = any(s.process is not None for s in slots)
         for task in leftovers:
-            unschedulable.inc()
-            failures.inc()
+            handles = handles_for(task)
+            handles.unschedulable.inc()
             error = (
-                "NoEligibleWorker: task requires a high-memory worker"
+                "NoEligibleWorker: no worker matches this task's placement "
+                f"(pool={task.pool or 'any'!r}, "
+                f"highmem={task.requires_highmem})"
                 if any_alive
                 else "WorkerLost: no live worker processes remain"
             )
-            record = TaskRecord(
-                key=task.key,
-                worker_id=UNSCHEDULED_WORKER_ID,
-                start=walltime,
-                end=walltime,
-                ok=False,
-                error=error,
-                attempt=task.attempt,
+            skip_record(task, error, walltime, handles)
+            queue.mark_failed(task.key)
+        skip_poisoned(queue.reap_poisoned())
+        for spec, missing in queue.drain_blocked():
+            handles = handles_for(spec)
+            handles.skipped_dependency.inc()
+            skip_record(
+                spec,
+                "SkippedDependency: dependency never completed: "
+                + ", ".join(missing),
+                walltime,
+                handles,
             )
-            notify_complete(record, None)
-            records.append(record)
         if callback_errors:
             raise RuntimeError(
                 f"on_complete callback failed for {len(callback_errors)} "

@@ -1,10 +1,26 @@
-"""Dataflow scheduler: queue, workers, greedy assignment.
+"""Dataflow scheduler: queue, workers, greedy assignment, dependencies.
 
 The heart of the Dask deployment in §3.3: a scheduler holds a task
 queue; workers (one per GPU) pull the next task the moment they finish
 the previous one.  No task placement decisions beyond FIFO — the load
 balancing comes entirely from the submission *order* (the paper's
 descending-length sort) plus the dataflow execution model.
+
+Two placement dimensions extend plain FIFO:
+
+* ``requires_highmem`` tasks only dispatch to 2 TB workers (§3.3's
+  oversized-protein routing), and
+* ``pool`` routes tasks to a named worker pool — the ParaFold-shaped
+  CPU/GPU split the streaming campaign scheduler uses (feature/relax
+  tasks on a CPU pool, inference on a GPU pool).
+
+Tasks may also declare ``depends_on`` edges.  A task with unmet
+dependencies is *held* (never offered to a worker) until every
+predecessor completes; the executors drive this with
+:meth:`TaskQueue.mark_complete` / :meth:`TaskQueue.mark_failed`.  A
+failed predecessor poisons its downstream chain — dependents are
+surfaced through :meth:`TaskQueue.reap_poisoned` so the executors can
+record them as skipped, never silently dropped and never a hang.
 
 This module is execution-agnostic: the threaded executor runs real
 Python callables, the simulated executor advances a discrete-event
@@ -14,9 +30,10 @@ and produce the same :class:`TaskRecord` stream for reporting.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from ..telemetry.metrics import get_metrics
 
@@ -32,6 +49,15 @@ class TaskSpec:
     fit a 2 TB high-memory node (§3.3); the queue never hands them to a
     standard worker.  ``attempt`` counts executions of this key — retry
     machinery respawns failed tasks with the counter bumped.
+
+    ``depends_on`` names predecessor task keys: the queue holds this
+    task until every one of them resolves.  ``dep_mode`` picks the
+    readiness rule — ``"all"`` (default) runs only if every dependency
+    *succeeded* and is poisoned by the first failure; ``"resolved"``
+    runs once every dependency has terminally resolved either way, and
+    is poisoned only when *all* of them failed (the relax stage's rule:
+    one surviving model prediction is enough to relax).  ``pool`` names
+    the worker pool this task must run on (``""`` = any).
     """
 
     key: str
@@ -40,16 +66,26 @@ class TaskSpec:
     size_hint: float = 0.0
     requires_highmem: bool = False
     attempt: int = 1
+    depends_on: tuple[str, ...] = ()
+    pool: str = ""
+    dep_mode: str = "all"
 
 
 @dataclass(frozen=True)
 class WorkerInfo:
-    """A registered worker: one GPU slot on some node."""
+    """A registered worker: one GPU slot on some node.
+
+    ``pool`` names the heterogeneous pool the worker belongs to
+    (``"cpu"``/``"gpu"`` in the streaming campaign); the empty string
+    is the universal pool — such workers take tasks from any pool, and
+    pool-less tasks run anywhere.
+    """
 
     worker_id: str
     node_id: int
     gpu_id: int
     highmem: bool = False
+    pool: str = ""
 
     @property
     def short_id(self) -> str:
@@ -80,64 +116,244 @@ class TaskRecord:
         return self.end - self.start
 
 
+class _Blocked:
+    """A submitted task waiting on unresolved dependencies."""
+
+    __slots__ = ("spec", "pending", "failed")
+
+    def __init__(
+        self, spec: TaskSpec, pending: set[str], failed: set[str]
+    ) -> None:
+        self.spec = spec
+        self.pending = pending
+        self.failed = failed
+
+
 @dataclass
 class TaskQueue:
-    """FIFO task queue with optional greedy size ordering.
+    """FIFO task queue with greedy ordering, placement lanes and deps.
 
     ``sort_descending()`` implements the paper's §3.3 step 3c: targets
     sorted in descending size so long tasks start early and short tasks
     fill the tail gaps.
 
-    Tasks live on two deques split by eligibility — standard tasks any
-    worker may run, and ``requires_highmem`` tasks only a 2 TB worker
-    may take — so every :meth:`pop` is O(1) instead of a scan-and-delete
-    over queued highmem tasks.  A monotone submission counter stitches
-    the deques back into one global FIFO wherever order across both
-    matters (highmem pops, :attr:`tasks`, reordering).
+    Ready tasks live on per-eligibility-class deques — one lane per
+    ``(pool, requires_highmem)`` pair — so every :meth:`pop` is O(lanes)
+    instead of a scan over ineligible tasks.  A monotone submission
+    counter stitches the lanes back into one global FIFO wherever order
+    across lanes matters (pops, :attr:`tasks`, reordering).
+
+    Tasks with unmet ``depends_on`` edges are held in a blocked set and
+    promoted into their lane the moment the last dependency resolves
+    (:meth:`mark_complete`).  A terminally failed dependency
+    (:meth:`mark_failed`) poisons dependents per their ``dep_mode``;
+    poisoned tasks — including transitively poisoned descendants — are
+    collected for the caller via :meth:`reap_poisoned` so every key
+    still produces a record.
+
+    ``finalize`` is an optional hook applied to a task as it enters a
+    lane (i.e. once its dependencies are known): the streaming pipeline
+    uses it to *raise* ``requires_highmem`` once the feature result
+    reveals the MSA depth.  It must be monotone — never clear a flag a
+    retry escalation set.
+
+    With ``observe_pressure`` set (the real executors set it; the
+    simulated one does not), each submit stamps an enqueue time and
+    each dispatch samples the ``dataflow.queue.depth`` gauge and the
+    ``dataflow.task.wait_seconds`` histogram, making queue pressure
+    under the streaming scheduler visible in ``repro report``.
     """
 
-    _standard: deque[tuple[int, TaskSpec]] = field(default_factory=deque)
-    _highmem: deque[tuple[int, TaskSpec]] = field(default_factory=deque)
+    _lanes: dict[tuple[str, bool], deque[tuple[int, float, TaskSpec]]] = field(
+        default_factory=dict
+    )
     _seq: int = 0
-    # Dispatch counters, re-resolved only when the active registry
+    _blocked: dict[str, _Blocked] = field(default_factory=dict)
+    _waiters: dict[str, list[str]] = field(default_factory=dict)
+    _done: set[str] = field(default_factory=set)
+    _failed: set[str] = field(default_factory=set)
+    _poisoned: list[tuple[TaskSpec, tuple[str, ...]]] = field(
+        default_factory=list
+    )
+    finalize: Callable[[TaskSpec], TaskSpec] | None = field(
+        default=None, repr=False, compare=False
+    )
+    observe_pressure: bool = False
+    # Dispatch instruments, re-resolved only when the active registry
     # changes so the hot pop path pays one identity check, not a
     # registry lookup, per dispatch.
     _dispatch_registry: Any = field(default=None, repr=False, compare=False)
     _dispatch_counters: Any = field(default=None, repr=False, compare=False)
 
-    def _count_dispatch(self, task: TaskSpec) -> TaskSpec:
+    def _instruments(self):
         registry = get_metrics()
         if registry is not self._dispatch_registry:
             self._dispatch_counters = (
                 registry.counter("dataflow.dispatch.standard"),
                 registry.counter("dataflow.dispatch.highmem"),
+                registry.gauge("dataflow.queue.depth"),
+                registry.histogram("dataflow.task.wait_seconds"),
             )
             self._dispatch_registry = registry
-        self._dispatch_counters[1 if task.requires_highmem else 0].inc()
+        return self._dispatch_counters
+
+    def _count_dispatch(self, task: TaskSpec, enqueued_at: float) -> TaskSpec:
+        standard, highmem, depth, wait = self._instruments()
+        (highmem if task.requires_highmem else standard).inc()
+        if self.observe_pressure:
+            depth.set(len(self))
+            wait.observe(max(0.0, time.monotonic() - enqueued_at))
         return task
 
     @property
     def tasks(self) -> list[TaskSpec]:
-        """Queued tasks in global FIFO order (a read-only snapshot)."""
-        return [task for _, task in sorted(self._standard + self._highmem)]
+        """Queued (ready) tasks in global FIFO order (a snapshot).
+
+        Blocked tasks are not included — they are not dispatchable yet.
+        """
+        entries: list[tuple[int, float, TaskSpec]] = []
+        for lane in self._lanes.values():
+            entries.extend(lane)
+        return [task for _, _, task in sorted(entries, key=lambda e: e[0])]
+
+    @property
+    def n_blocked(self) -> int:
+        """Tasks held on unresolved dependencies."""
+        return len(self._blocked)
+
+    # -- submission ----------------------------------------------------------
+    def _enqueue(self, task: TaskSpec, run_finalize: bool = True) -> None:
+        if run_finalize and self.finalize is not None:
+            task = self.finalize(task)
+        lane_key = (task.pool, task.requires_highmem)
+        lane = self._lanes.get(lane_key)
+        if lane is None:
+            lane = self._lanes[lane_key] = deque()
+        enqueued_at = time.monotonic() if self.observe_pressure else 0.0
+        lane.append((self._seq, enqueued_at, task))
+        self._seq += 1
 
     def submit(self, task: TaskSpec) -> None:
-        lane = self._highmem if task.requires_highmem else self._standard
-        lane.append((self._seq, task))
-        self._seq += 1
+        deps = task.depends_on
+        if deps:
+            pending = {
+                d for d in deps if d not in self._done and d not in self._failed
+            }
+            failed = {d for d in deps if d in self._failed}
+            if pending:
+                self._blocked[task.key] = _Blocked(task, pending, failed)
+                for dep in pending:
+                    self._waiters.setdefault(dep, []).append(task.key)
+                return
+            if failed and (
+                task.dep_mode == "all" or len(failed) == len(deps)
+            ):
+                self._poison(task, failed)
+                return
+        self._enqueue(task)
 
     def submit_many(self, tasks: list[TaskSpec]) -> None:
         for task in tasks:
             self.submit(task)
 
+    # -- dependency resolution -----------------------------------------------
+    def satisfy(self, key: str) -> None:
+        """Mark ``key`` complete without a task having run (resume path)."""
+        self._done.add(key)
+
+    def satisfy_many(self, keys: Iterable[str]) -> None:
+        self._done.update(keys)
+
+    def _poison(self, task: TaskSpec, failed_deps: set[str]) -> int:
+        self._poisoned.append((task, tuple(sorted(failed_deps))))
+        return self._mark(task.key, failed=True)
+
+    def _mark(self, key: str, failed: bool) -> int:
+        (self._failed if failed else self._done).add(key)
+        promoted = 0
+        for waiter_key in self._waiters.pop(key, ()):
+            blocked = self._blocked.get(waiter_key)
+            if blocked is None:
+                continue  # already promoted/poisoned via another dep
+            blocked.pending.discard(key)
+            if failed:
+                blocked.failed.add(key)
+            spec = blocked.spec
+            if failed and spec.dep_mode == "all":
+                del self._blocked[waiter_key]
+                promoted += self._poison(spec, blocked.failed)
+                continue
+            if not blocked.pending:
+                del self._blocked[waiter_key]
+                if blocked.failed and len(blocked.failed) == len(
+                    spec.depends_on
+                ):
+                    promoted += self._poison(spec, blocked.failed)
+                else:
+                    self._enqueue(spec)
+                    promoted += 1
+        return promoted
+
+    def mark_complete(self, key: str) -> int:
+        """A task succeeded: promote dependents whose edges all resolved.
+
+        Returns the number of tasks promoted into a lane (callers use a
+        non-zero return to wake idle workers).
+        """
+        return self._mark(key, failed=False)
+
+    def mark_failed(self, key: str) -> int:
+        """A task terminally failed: poison/promote dependents.
+
+        ``dep_mode="all"`` dependents are poisoned immediately (and
+        their own keys marked failed, cascading down the chain);
+        ``dep_mode="resolved"`` dependents are promoted once every edge
+        has resolved unless *every* edge failed.  Returns the number of
+        tasks promoted.
+        """
+        return self._mark(key, failed=True)
+
+    def reap_poisoned(self) -> list[tuple[TaskSpec, tuple[str, ...]]]:
+        """Drain tasks poisoned by failed dependencies.
+
+        Each entry is ``(spec, failed_dependency_keys)``.  The caller
+        records them (``SkippedDependency`` failures) so no key ever
+        vanishes from the record stream.
+        """
+        poisoned, self._poisoned = self._poisoned, []
+        return poisoned
+
+    def drain_blocked(self) -> list[tuple[TaskSpec, tuple[str, ...]]]:
+        """Remove and return tasks whose dependencies never resolved.
+
+        Each entry is ``(spec, unresolved_dependency_keys)``.  Only
+        reachable at end of run when a dependency was never submitted.
+        """
+        drained = [
+            (b.spec, tuple(sorted(b.pending)))
+            for b in self._blocked.values()
+        ]
+        self._blocked.clear()
+        self._waiters.clear()
+        return drained
+
+    # -- ordering ------------------------------------------------------------
     def _reorder(self, ordered: list[TaskSpec]) -> None:
-        self._standard.clear()
-        self._highmem.clear()
+        for lane in self._lanes.values():
+            lane.clear()
         self._seq = 0
-        self.submit_many(ordered)
+        for task in ordered:
+            # Already-ready tasks re-enter their lane directly; their
+            # dependencies were checked (and finalize applied) on first
+            # submission.
+            self._enqueue(task, run_finalize=False)
 
     def sort_descending(self) -> None:
-        """Greedy load balancing: largest size hints first."""
+        """Greedy load balancing: largest size hints first.
+
+        Orders the currently *ready* tasks; blocked tasks enqueue in
+        dependency-resolution order when promoted.
+        """
         self._reorder(
             sorted(self.tasks, key=lambda t: (-t.size_hint, t.key))
         )
@@ -148,48 +364,72 @@ class TaskQueue:
         rng.shuffle(items)
         self._reorder(items)
 
+    # -- dispatch ------------------------------------------------------------
+    @staticmethod
+    def _eligible(worker: WorkerInfo | None, lane_key: tuple[str, bool]) -> bool:
+        if worker is None:
+            return True
+        pool, needs_highmem = lane_key
+        if needs_highmem and not worker.highmem:
+            return False
+        if pool and worker.pool and pool != worker.pool:
+            return False
+        return True
+
     def pop(self, worker: WorkerInfo | None = None) -> TaskSpec | None:
         """Next task this worker may run (FIFO among eligible tasks).
 
-        High-memory workers (and the ``worker=None`` legacy form) take
-        the oldest task overall; standard workers take the oldest
-        standard task, leaving ``requires_highmem`` tasks queued for a
-        2 TB node.  Returns ``None`` when no eligible task is queued —
-        the queue itself may be non-empty.
+        Eligibility: ``requires_highmem`` tasks need a high-memory
+        worker; a task with a ``pool`` needs a worker of that pool (or
+        a pool-less worker); the ``worker=None`` legacy form takes the
+        oldest task overall.  Returns ``None`` when no eligible task is
+        queued — the queue itself may be non-empty.
         """
-        if worker is None or worker.highmem:
-            if not self._highmem:
-                if not self._standard:
-                    return None
-                return self._count_dispatch(self._standard.popleft()[1])
-            if not self._standard:
-                return self._count_dispatch(self._highmem.popleft()[1])
-            lane = (
-                self._standard
-                if self._standard[0][0] < self._highmem[0][0]
-                else self._highmem
-            )
-            return self._count_dispatch(lane.popleft()[1])
-        if not self._standard:
+        best: deque | None = None
+        best_seq = -1
+        for lane_key, lane in self._lanes.items():
+            if not lane or not self._eligible(worker, lane_key):
+                continue
+            if best is None or lane[0][0] < best_seq:
+                best = lane
+                best_seq = lane[0][0]
+        if best is None:
             return None
-        return self._count_dispatch(self._standard.popleft()[1])
+        _, enqueued_at, task = best.popleft()
+        return self._count_dispatch(task, enqueued_at)
+
+    def schedulable_for(self, workers: list[WorkerInfo]) -> bool:
+        """Is any queued task eligible for any of these workers?
+
+        The threaded executor's idle-exit check: with nothing in flight
+        and nothing deferred, a worker may only exit once no queued task
+        could ever be taken by *any* registered worker — otherwise a
+        chain promoted by a peer's completion could strand.
+        """
+        return any(
+            lane and any(self._eligible(w, lane_key) for w in workers)
+            for lane_key, lane in self._lanes.items()
+        )
 
     def __len__(self) -> int:
-        return len(self._standard) + len(self._highmem)
+        return sum(len(lane) for lane in self._lanes.values())
 
     def __bool__(self) -> bool:  # pragma: no cover - trivial
-        return bool(self._standard) or bool(self._highmem)
+        return any(self._lanes.values())
 
 
 def make_workers(
     n_nodes: int,
     workers_per_node: int,
     highmem_nodes: int = 0,
+    pool: str = "",
 ) -> list[WorkerInfo]:
     """Spawn worker descriptors: one per GPU per node (§3.3 step 2).
 
     The last ``highmem_nodes`` nodes are flagged high-memory (the
-    paper routed oversized proteins there).
+    paper routed oversized proteins there).  ``pool`` labels every
+    created worker with a pool name — the name also feeds the id hash,
+    so concatenating a CPU pool and a GPU pool never collides ids.
     Worker ids mimic Dask's UUID-suffixed names.
     """
     import hashlib
@@ -197,13 +437,17 @@ def make_workers(
     workers = []
     for node in range(n_nodes):
         for gpu in range(workers_per_node):
-            digest = hashlib.sha256(f"worker/{node}/{gpu}".encode()).hexdigest()
+            seed = (
+                f"worker/{pool}/{node}/{gpu}" if pool else f"worker/{node}/{gpu}"
+            )
+            digest = hashlib.sha256(seed.encode()).hexdigest()
             workers.append(
                 WorkerInfo(
                     worker_id=f"tcp-worker-{digest[:12]}",
                     node_id=node,
                     gpu_id=gpu,
                     highmem=node >= n_nodes - highmem_nodes,
+                    pool=pool,
                 )
             )
     return workers

@@ -164,6 +164,7 @@ def simulate_dataflow(
     sim_retries = metrics.counter("sim.dataflow.task.retries")
     sim_escalations = metrics.counter("sim.dataflow.task.oom_escalations")
     sim_unschedulable = metrics.counter("sim.dataflow.task.unschedulable")
+    sim_skipped = metrics.counter("sim.dataflow.task.skipped_dependency")
 
     clock = SimClock()
     records: list[TaskRecord] = []
@@ -174,6 +175,26 @@ def simulate_dataflow(
         waiting, idle[:] = idle[:], []
         for worker in waiting:
             pull(worker)
+
+    def skip_poisoned(at: float) -> None:
+        """Record dependency-poisoned tasks as zero-duration failures."""
+        for spec, failed_deps in queue.reap_poisoned():
+            sim_skipped.inc()
+            sim_failures.inc()
+            records.append(
+                TaskRecord(
+                    key=spec.key,
+                    worker_id=UNSCHEDULED_WORKER_ID,
+                    start=at,
+                    end=at,
+                    ok=False,
+                    error=(
+                        "SkippedDependency: upstream task(s) failed: "
+                        + ", ".join(failed_deps)
+                    ),
+                    attempt=spec.attempt,
+                )
+            )
 
     def pull(worker: WorkerInfo) -> None:
         task = queue.pop(worker)
@@ -205,9 +226,13 @@ def simulate_dataflow(
                 sim_failures.inc()
             if task.attempt > 1:
                 sim_retries.inc()
-            if (
-                error is not None
-                and retry_policy is not None
+            if error is None:
+                # Completing a task may unblock queued dependents that
+                # only *other* (idle) workers are eligible for.
+                if queue.mark_complete(task.key):
+                    wake_idle()
+            elif (
+                retry_policy is not None
                 and retry_policy.should_retry(task.attempt)
             ):
                 respawn = retry_policy.next_task(task, error)
@@ -219,6 +244,14 @@ def simulate_dataflow(
                     wake_idle()
 
                 clock.schedule(retry_policy.backoff_for(task.attempt), resubmit)
+            else:
+                # Terminal failure: poison only the downstream chain;
+                # a resolved-mode dependent may *promote* instead
+                # (relax runs on whichever models survived).
+                promoted = queue.mark_failed(task.key)
+                skip_poisoned(clock.now)
+                if promoted:
+                    wake_idle()
             pull(worker)
 
         clock.schedule(end - clock.now, finish)
@@ -241,8 +274,27 @@ def simulate_dataflow(
                 start=makespan,
                 end=makespan,
                 ok=False,
-                error="NoEligibleWorker: task requires a high-memory worker",
+                error="NoEligibleWorker: no worker matches this task's "
+                f"placement (pool={task.pool or 'any'!r}, "
+                f"highmem={task.requires_highmem})",
                 attempt=task.attempt,
+            )
+        )
+        queue.mark_failed(task.key)
+    skip_poisoned(makespan)
+    for spec, missing in queue.drain_blocked():
+        sim_skipped.inc()
+        sim_failures.inc()
+        records.append(
+            TaskRecord(
+                key=spec.key,
+                worker_id=UNSCHEDULED_WORKER_ID,
+                start=makespan,
+                end=makespan,
+                ok=False,
+                error="SkippedDependency: dependency never completed: "
+                + ", ".join(missing),
+                attempt=spec.attempt,
             )
         )
     return SimulationResult(

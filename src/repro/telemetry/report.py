@@ -138,6 +138,12 @@ def render_report(artifacts: RunArtifacts) -> str:
         lines.append("counters:")
         for name, value in sorted(counters.items()):
             lines.append(f"  {name:<40} {value:g}")
+    gauges = artifacts.metrics.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        for name, value in sorted(gauges.items()):
+            lines.append(f"  {name:<40} {value:g}")
     histograms = artifacts.metrics.get("histograms", {})
     if histograms:
         lines.append("")

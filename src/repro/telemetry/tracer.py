@@ -203,8 +203,19 @@ class Tracer:
         name: str = "",
         attrs: dict[str, Any] | None = None,
         ambient: bool = False,
+        parent: Span | None = None,
+        stacked: bool = True,
     ) -> Span:
-        parent = self.current_span()
+        """Open a span; by default nested under the current span.
+
+        ``parent`` pins the parent explicitly (overriding thread/ambient
+        context) and ``stacked=False`` keeps the span off this thread's
+        open-span stack — together they let several sibling spans stay
+        open concurrently under one parent, the shape the streaming
+        scheduler needs for its three interleaved stage spans.
+        """
+        if parent is None:
+            parent = self.current_span()
         with self._lock:
             span = Span(
                 name=name or category,
@@ -218,7 +229,8 @@ class Tracer:
             self.spans.append(span)
             if ambient:
                 self._ambient.append(span)
-        self._stack().append(span)
+        if stacked:
+            self._stack().append(span)
         return span
 
     def finish_span(self, span: Span) -> None:

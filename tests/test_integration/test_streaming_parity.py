@@ -1,0 +1,202 @@
+"""Schedule parity: streaming and barrier campaigns agree bit-for-bit.
+
+The streaming scheduler dissolves the three stage barriers into one
+dependency-driven dataflow — an operational change only.  These tests
+pin the PR's core claims: identical science on both schedules and both
+executor backends, schedule-invariant node-hour accounting, a strictly
+shorter simulated campaign (makespan *and* time-to-first-structure),
+cross-schedule resume over one shared ledger, and task→stage span
+nesting that survives the stages interleaving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ProteomePipeline
+from repro.fold import NativeFactory
+from repro.msa import build_suite
+from repro.runstate import RunState
+from repro.sequences import SequenceUniverse, synthetic_proteome
+from repro.telemetry import Tracer, use_tracer
+
+
+def make_pipeline(**kwargs) -> ProteomePipeline:
+    return ProteomePipeline(
+        feature_nodes=4,
+        inference_nodes=2,
+        relax_nodes=1,
+        compute_workers=3,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def mini():
+    uni = SequenceUniverse(33)
+    prot = synthetic_proteome("P_mercurii", universe=uni, seed=33, scale=0.002)
+    suite = build_suite(uni, ["P_mercurii"], seed=33, scale=0.002)
+    return prot, suite, NativeFactory(uni)
+
+
+@pytest.fixture(scope="module")
+def barrier_run(mini):
+    prot, suite, factory = mini
+    return make_pipeline(schedule="barrier").run(prot, suite, factory)
+
+
+@pytest.fixture(scope="module")
+def streaming_run(mini):
+    prot, suite, factory = mini
+    return make_pipeline(schedule="streaming").run(prot, suite, factory)
+
+
+@pytest.fixture(scope="module")
+def streaming_process_run(mini):
+    prot, suite, factory = mini
+    return make_pipeline(
+        schedule="streaming", executor_backend="process"
+    ).run(prot, suite, factory)
+
+
+class TestSchedulesAgree:
+    def test_schedules_are_labelled(self, barrier_run, streaming_run):
+        assert barrier_run.schedule == "barrier"
+        assert barrier_run.streaming_simulation is None
+        assert streaming_run.schedule == "streaming"
+        assert streaming_run.streaming_simulation is not None
+
+    def test_feature_stage_bit_identical(self, barrier_run, streaming_run):
+        a = barrier_run.feature_stage.features
+        b = streaming_run.feature_stage.features
+        assert a.keys() == b.keys()
+        for rid in a:
+            assert a[rid].msa_depth == b[rid].msa_depth
+            assert a[rid].effective_depth == b[rid].effective_depth
+            assert a[rid].n_templates == b[rid].n_templates
+
+    def test_inference_stage_bit_identical(self, barrier_run, streaming_run):
+        a = barrier_run.inference_stage.top_models
+        b = streaming_run.inference_stage.top_models
+        assert a.keys() == b.keys()
+        for rid in a:
+            assert a[rid].model_name == b[rid].model_name
+            assert a[rid].ptms == b[rid].ptms
+            np.testing.assert_array_equal(
+                a[rid].structure.ca, b[rid].structure.ca
+            )
+
+    def test_relax_stage_bit_identical(self, barrier_run, streaming_run):
+        a = barrier_run.relax_stage.outcomes
+        b = streaming_run.relax_stage.outcomes
+        assert a.keys() == b.keys()
+        for rid in a:
+            np.testing.assert_array_equal(
+                a[rid].structure.ca, b[rid].structure.ca
+            )
+            assert a[rid].final_energy == b[rid].final_energy
+
+    def test_node_hours_schedule_invariant(self, barrier_run, streaming_run):
+        assert (
+            streaming_run.total_node_hours == barrier_run.total_node_hours
+        )
+
+    def test_process_backend_matches_threaded(
+        self, streaming_run, streaming_process_run
+    ):
+        a = streaming_run.relax_stage.outcomes
+        b = streaming_process_run.relax_stage.outcomes
+        assert a.keys() == b.keys()
+        for rid in a:
+            np.testing.assert_array_equal(
+                a[rid].structure.ca, b[rid].structure.ca
+            )
+            assert a[rid].final_energy == b[rid].final_energy
+        assert (
+            streaming_process_run.total_node_hours
+            == streaming_run.total_node_hours
+        )
+
+    def test_no_failures(self, streaming_run, streaming_process_run):
+        for run in (streaming_run, streaming_process_run):
+            for stage in (run.feature_stage, run.relax_stage):
+                assert stage.execution is not None
+                assert stage.execution.n_failed == 0
+
+
+class TestStreamingWins:
+    def test_makespan_strictly_shorter(self, barrier_run, streaming_run):
+        assert (
+            streaming_run.campaign_walltime_seconds
+            < barrier_run.campaign_walltime_seconds
+        )
+
+    def test_first_structure_lands_earlier(self, barrier_run, streaming_run):
+        assert (
+            streaming_run.time_to_first_structure_seconds
+            < barrier_run.time_to_first_structure_seconds
+        )
+
+    def test_bubble_accounting_present(self, barrier_run, streaming_run):
+        # Both schedules account their bubbles; dissolving the barriers
+        # must not *create* idle time.
+        assert barrier_run.bubble_seconds >= 0.0
+        assert streaming_run.bubble_seconds >= 0.0
+        assert streaming_run.bubble_seconds <= barrier_run.bubble_seconds
+
+
+class TestCrossScheduleResume:
+    def test_streaming_resumes_a_barrier_ledger(self, mini, tmp_path):
+        """The ledger speaks bare keys: a campaign recorded under the
+        barrier schedule restores fully under streaming — zero
+        recomputation in either direction."""
+        prot, suite, factory = mini
+        n = len(prot)
+
+        state = RunState(tmp_path / "state")
+        make_pipeline(schedule="barrier", run_state=state).run(
+            prot, suite, factory
+        )
+        state.close()
+
+        state = RunState(tmp_path / "state")
+        assert state.resumed
+        resumed = make_pipeline(schedule="streaming", run_state=state).run(
+            prot, suite, factory
+        )
+        state.close()
+
+        assert resumed.feature_stage.skipped_resume == n
+        assert resumed.inference_stage.skipped_resume == 5 * n
+        assert resumed.relax_stage.skipped_resume == n
+        assert resumed.schedule == "streaming"
+
+
+class TestSpanNesting:
+    def test_wall_task_spans_nest_under_their_stage(self, mini):
+        """Interleaved execution, untangled trace: every wall-clock task
+        span parents to the stage span its key prefix names."""
+        prot, suite, factory = mini
+        tr = Tracer()
+        with use_tracer(tr):
+            make_pipeline(schedule="streaming").run(prot, suite, factory)
+
+        stage_spans = {
+            s.span_id: s.name for s in tr.spans if s.category == "stage"
+        }
+        assert set(stage_spans.values()) >= {"features", "inference", "relax"}
+        stage_for_prefix = {
+            "feature": "features",
+            "inference": "inference",
+            "relax": "relax",
+        }
+        wall_tasks = [
+            s
+            for s in tr.spans
+            if s.category == "task" and s.attrs.get("clock") != "sim"
+        ]
+        assert len(wall_tasks) >= 7 * len(prot)
+        for span in wall_tasks:
+            prefix = span.name.partition("/")[0]
+            assert stage_spans.get(span.parent_id) == stage_for_prefix[prefix]

@@ -30,6 +30,7 @@ class TestEngineMetrics:
             "feature.task.retries": 0.0,
             "feature.task.oom_escalations": 0.0,
             "feature.task.unschedulable": 0.0,
+            "feature.task.skipped_dependency": 0.0,
         }
         hist = reg.histogram("feature.task.latency_seconds")
         assert hist.count == 10
